@@ -1,0 +1,98 @@
+//! Analysis-pipeline microbenchmarks: k-means (with the feature-scaling
+//! ablation), Zipf fitting, burstiness, hourly binning, and the empirical
+//! CDF primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swim_core::access::{FileAccessStats, PathStage};
+use swim_core::burstiness::Burstiness;
+use swim_core::kmeans::{FeatureScaling, KMeansConfig};
+use swim_core::stats::Ecdf;
+use swim_core::timeseries::HourlySeries;
+use swim_core::KMeans;
+use swim_trace::trace::WorkloadKind;
+use swim_trace::Trace;
+use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
+
+fn sample_trace() -> Trace {
+    WorkloadGenerator::new(
+        GeneratorConfig::new(WorkloadKind::CcB).scale(0.3).days(3.0).seed(11),
+    )
+    .generate()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let trace = sample_trace();
+    let mut group = c.benchmark_group("kmeans");
+    for scaling in [FeatureScaling::LogZScore, FeatureScaling::Raw] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scaling:?}")),
+            &scaling,
+            |b, &scaling| {
+                b.iter(|| {
+                    black_box(KMeans::fit(
+                        &trace,
+                        KMeansConfig { k: 5, scaling, ..Default::default() },
+                    ))
+                });
+            },
+        );
+    }
+    group.bench_function("elbow_selection", |b| {
+        b.iter(|| {
+            black_box(KMeans::fit_with_elbow(&trace, 8, 0.12, KMeansConfig::default()))
+        });
+    });
+    group.finish();
+}
+
+fn bench_access(c: &mut Criterion) {
+    let trace = sample_trace();
+    let mut group = c.benchmark_group("access_analysis");
+    group.bench_function("gather_and_zipf_fit", |b| {
+        b.iter(|| {
+            let stats = FileAccessStats::gather(&trace, PathStage::Input);
+            black_box(stats.zipf_fit(Some(300)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_timeseries(c: &mut Criterion) {
+    let trace = sample_trace();
+    let mut group = c.benchmark_group("timeseries");
+    group.bench_function("hourly_binning", |b| {
+        b.iter(|| black_box(HourlySeries::of(&trace)));
+    });
+    let series = HourlySeries::of(&trace);
+    group.bench_function("burstiness_vector", |b| {
+        b.iter(|| black_box(Burstiness::of(&series.task_seconds, &[])));
+    });
+    group.bench_function("correlations", |b| {
+        b.iter(|| black_box(series.correlations()));
+    });
+    group.finish();
+}
+
+fn bench_ecdf(c: &mut Criterion) {
+    let trace = sample_trace();
+    let samples: Vec<f64> = trace.jobs().iter().map(|j| j.input.as_f64()).collect();
+    let mut group = c.benchmark_group("ecdf");
+    group.bench_function("build", |b| {
+        b.iter(|| black_box(Ecdf::new(samples.clone())));
+    });
+    let ecdf = Ecdf::new(samples);
+    group.bench_function("hundred_quantiles", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += ecdf.quantile(i as f64 / 100.0);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans, bench_access, bench_timeseries, bench_ecdf);
+criterion_main!(benches);

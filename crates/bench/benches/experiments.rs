@@ -1,0 +1,22 @@
+//! One Criterion benchmark per reproduced table/figure: measures the cost
+//! of regenerating each artifact from a shared quick corpus (corpus
+//! construction is excluded from the timed region).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swim_bench::{experiments, Corpus, CorpusScale};
+
+fn bench_experiments(c: &mut Criterion) {
+    let corpus = Corpus::build(CorpusScale::Quick, 42);
+    let mut group = c.benchmark_group("regenerate");
+    group.sample_size(10);
+    for id in experiments::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &id, |b, id| {
+            b.iter(|| black_box(experiments::run(id, &corpus).expect("known id").len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

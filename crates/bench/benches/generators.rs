@@ -1,0 +1,64 @@
+//! Generator throughput: jobs synthesized per second for representative
+//! workloads, plus the arrival-process ablation (flat Poisson vs the
+//! calibrated diurnal+bursty model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swim_trace::trace::WorkloadKind;
+use swim_workloadgen::arrival::ArrivalModel;
+use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    for (kind, scale) in [
+        (WorkloadKind::CcB, 0.2),
+        (WorkloadKind::CcE, 0.2),
+        (WorkloadKind::Fb2009, 0.005),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let gen = WorkloadGenerator::new(
+                        GeneratorConfig::new(kind.clone())
+                            .scale(scale)
+                            .days(2.0)
+                            .seed(7),
+                    );
+                    black_box(gen.generate().len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_arrival_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrival_process");
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let flat = ArrivalModel::flat(500.0);
+    let bursty = ArrivalModel {
+        jobs_per_hour: 500.0,
+        diurnal_amplitude: 0.4,
+        peak_hour: 14.0,
+        burst_sigma: 1.3,
+    };
+    group.bench_function("flat_poisson_week", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(flat.sample_arrivals(&mut rng, 24 * 7).len())
+        });
+    });
+    group.bench_function("diurnal_bursty_week", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(bursty.sample_arrivals(&mut rng, 24 * 7).len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_arrival_models);
+criterion_main!(benches);

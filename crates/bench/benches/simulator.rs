@@ -1,0 +1,71 @@
+//! Simulator benchmarks: replay throughput plus the two design-choice
+//! ablations DESIGN.md calls out — scheduler (FIFO vs fair) and cache
+//! policy (LRU vs LFU vs size-threshold vs unlimited).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swim_sim::{CachePolicy, SchedulerKind, SimConfig, Simulator};
+use swim_synth::ReplayPlan;
+use swim_trace::trace::WorkloadKind;
+use swim_trace::{DataSize, PathId};
+use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
+
+fn plan_and_paths() -> (ReplayPlan, Vec<PathId>) {
+    let trace = WorkloadGenerator::new(
+        GeneratorConfig::new(WorkloadKind::CcE).scale(0.3).days(2.0).seed(21),
+    )
+    .generate();
+    let paths: Vec<PathId> = trace
+        .jobs()
+        .iter()
+        .map(|j| j.input_paths.first().copied().unwrap_or(PathId(0)))
+        .collect();
+    (ReplayPlan::from_trace(&trace), paths)
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let (plan, _) = plan_and_paths();
+    let mut group = c.benchmark_group("scheduler_ablation");
+    for kind in [SchedulerKind::Fifo, SchedulerKind::Fair] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut cfg = SimConfig::new(100);
+                    cfg.scheduler = kind;
+                    black_box(Simulator::new(cfg).run(&plan, None).makespan)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cache_policies(c: &mut Criterion) {
+    let (plan, paths) = plan_and_paths();
+    let mut group = c.benchmark_group("cache_ablation");
+    let policies: [(&str, CachePolicy); 4] = [
+        ("lru", CachePolicy::Lru),
+        ("lfu", CachePolicy::Lfu),
+        (
+            "size_threshold_1gb",
+            CachePolicy::SizeThreshold { threshold: DataSize::from_gb(1) },
+        ),
+        ("unlimited", CachePolicy::Unlimited),
+    ];
+    for (name, policy) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| {
+                let cfg =
+                    SimConfig::new(100).with_cache(policy, DataSize::from_gb(50));
+                let result = Simulator::new(cfg).run(&plan, Some(&paths));
+                black_box(result.cache.map(|s| s.hit_rate()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_cache_policies);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! SWIM-synthesis benchmarks: window sampling, scale-down, replay-plan
+//! construction, and KS validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use swim_synth::sample::{sample_windows, SampleConfig};
+use swim_synth::scaledown::{scale_trace, ScaleConfig, ScaleMode};
+use swim_synth::validate::{ks_distance, SynthesisReport};
+use swim_synth::ReplayPlan;
+use swim_trace::trace::WorkloadKind;
+use swim_trace::Trace;
+use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
+
+fn source() -> Trace {
+    WorkloadGenerator::new(
+        GeneratorConfig::new(WorkloadKind::Fb2009).scale(0.01).days(7.0).seed(31),
+    )
+    .generate()
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let trace = source();
+    let mut group = c.benchmark_group("swim_synthesis");
+    group.bench_function("window_sampling_1day", |b| {
+        b.iter(|| black_box(sample_windows(&trace, SampleConfig::one_day_from_hours(1)).len()));
+    });
+    group.bench_function("scale_down_data", |b| {
+        b.iter(|| {
+            black_box(
+                scale_trace(
+                    &trace,
+                    ScaleConfig {
+                        target_machines: 20,
+                        mode: ScaleMode::DataSize,
+                        seed: 0,
+                    },
+                )
+                .len(),
+            )
+        });
+    });
+    group.bench_function("replay_plan_build", |b| {
+        b.iter(|| black_box(ReplayPlan::from_trace(&trace).len()));
+    });
+    group.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let trace = source();
+    let sampled = sample_windows(&trace, SampleConfig::one_day_from_hours(1));
+    let mut group = c.benchmark_group("swim_validation");
+    group.bench_function("full_ks_report", |b| {
+        b.iter(|| black_box(SynthesisReport::compare(&trace, &sampled).worst()));
+    });
+    let a: Vec<f64> = trace.jobs().iter().map(|j| j.input.as_f64()).collect();
+    let bb: Vec<f64> = sampled.jobs().iter().map(|j| j.input.as_f64()).collect();
+    group.bench_function("single_ks_distance", |b| {
+        b.iter(|| black_box(ks_distance(&a, &bb)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! `swim-analyze`: the SWIM user path — analyze your own per-job trace
+//! (CSV or JSON-lines in the `swim-trace` schema), print the full
+//! characterization, export anonymized aggregate metrics for sharing, and
+//! optionally synthesize a scaled-down replay bundle.
+//!
+//! ```text
+//! swim-analyze --input trace.jsonl [--csv] [--machines N] [--name LABEL]
+//!              [--export metrics.json] [--synthesize N --bundle out.json]
+//! swim-analyze --demo            # run on a generated demo trace
+//! ```
+
+use std::fs::File;
+use std::process::ExitCode;
+use swim_bench::analyze::{synthesize_bundle, SharedMetrics};
+use swim_core::workload::WorkloadAnalysis;
+use swim_trace::trace::WorkloadKind;
+use swim_trace::Trace;
+
+struct Args {
+    input: Option<String>,
+    csv: bool,
+    machines: u32,
+    name: String,
+    export: Option<String>,
+    synthesize: Option<u32>,
+    bundle: Option<String>,
+    demo: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        csv: false,
+        machines: 100,
+        name: "custom".to_owned(),
+        export: None,
+        synthesize: None,
+        bundle: None,
+        demo: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut next = |flag: &str| {
+            iter.next().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--input" => args.input = Some(next("--input")?),
+            "--csv" => args.csv = true,
+            "--machines" => {
+                args.machines = next("--machines")?
+                    .parse()
+                    .map_err(|_| "--machines requires an integer".to_owned())?
+            }
+            "--name" => args.name = next("--name")?,
+            "--export" => args.export = Some(next("--export")?),
+            "--synthesize" => {
+                args.synthesize = Some(
+                    next("--synthesize")?
+                        .parse()
+                        .map_err(|_| "--synthesize requires a node count".to_owned())?,
+                )
+            }
+            "--bundle" => args.bundle = Some(next("--bundle")?),
+            "--demo" => args.demo = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_trace(args: &Args) -> Result<Trace, String> {
+    if args.demo {
+        use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
+        return Ok(WorkloadGenerator::new(
+            GeneratorConfig::new(WorkloadKind::CcB).scale(0.3).days(3.0).seed(1),
+        )
+        .generate());
+    }
+    let path = args.input.as_ref().ok_or("--input (or --demo) is required")?;
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let kind = WorkloadKind::Custom(args.name.clone());
+    if args.csv {
+        swim_trace::io::read_csv(kind, args.machines, file)
+            .map_err(|e| format!("parse {path}: {e}"))
+    } else {
+        swim_trace::io::read_jsonl(file).map_err(|e| format!("parse {path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: swim-analyze --input trace.jsonl [--csv] [--machines N] \
+                 [--name LABEL] [--export metrics.json] \
+                 [--synthesize NODES --bundle out.json] | --demo"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match load_trace(&args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if trace.is_empty() {
+        eprintln!("error: trace contains no jobs");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!("analyzing {} jobs ...", trace.len());
+    let analysis = WorkloadAnalysis::of(&trace);
+    let metrics = SharedMetrics::from_analysis(&analysis);
+
+    println!("workload         : {}", metrics.workload);
+    println!("jobs             : {}", metrics.jobs);
+    println!("length           : {:.1} hours", metrics.length_hours);
+    println!(
+        "bytes moved      : {}",
+        swim_trace::DataSize::from_bytes(metrics.bytes_moved)
+    );
+    if let Some(slope) = metrics.input_zipf_slope {
+        println!("input zipf slope : {slope:.3} (paper: ≈ -0.833)");
+    }
+    println!(
+        "locality (6 hrs) : {:.0}% of re-accesses",
+        metrics.locality_within_6h * 100.0
+    );
+    if let Some(p2m) = metrics.peak_to_median {
+        println!("burstiness       : peak-to-median {p2m:.1}:1");
+    }
+    let (jb, jt, bt) = metrics.correlations;
+    println!("correlations     : jobs-bytes {jb:.2}, jobs-task {jt:.2}, bytes-task {bt:.2}");
+    println!("job types        : {}", metrics.job_types.len());
+    for (count, input, _, _, dur, ..) in metrics.job_types.iter().take(4) {
+        println!(
+            "  {:>8} jobs  in {:>10}  dur {:>10}",
+            count,
+            swim_trace::DataSize::from_bytes(*input).to_string(),
+            swim_trace::Dur::from_secs(*dur).to_string()
+        );
+    }
+
+    if let Some(path) = &args.export {
+        if let Err(e) = std::fs::write(path, metrics.to_json()) {
+            eprintln!("error: write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote anonymized metrics to {path}");
+    }
+    if let Some(nodes) = args.synthesize {
+        let bundle = synthesize_bundle(&trace, nodes, 17);
+        eprintln!(
+            "synthesized bundle: {} replay jobs, {} files to pre-populate, worst KS {:.3}",
+            bundle.replay.len(),
+            bundle.datagen.file_count(),
+            bundle.validation_worst_ks
+        );
+        if let Some(path) = &args.bundle {
+            match serde_json::to_string(&bundle) {
+                Ok(json) => {
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("error: write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote replay bundle to {path}");
+                }
+                Err(e) => {
+                    eprintln!("error: serialize bundle: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

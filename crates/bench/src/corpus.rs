@@ -1,0 +1,150 @@
+//! The experiment corpus: the seven synthetic workload traces, generated
+//! at a laptop-friendly scale with fixed seeds so every experiment runs
+//! off the same data. Facebook workloads are down-scaled in job count
+//! (they have >1 M jobs at production scale); the Cloudera workloads run
+//! at full published job rates. Every report prints the scale it ran at.
+
+use crossbeam::thread;
+use swim_trace::trace::WorkloadKind;
+use swim_trace::Trace;
+use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
+
+/// How big a corpus to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusScale {
+    /// Fast CI-sized corpus (~3 days, heavier down-scaling).
+    Quick,
+    /// Standard experiment corpus (up to 14 days per workload).
+    Standard,
+}
+
+/// Per-workload generation parameters `(scale, days)`.
+pub fn scale_params(kind: &WorkloadKind, scale: CorpusScale) -> (f64, f64) {
+    let (s, d) = match kind {
+        WorkloadKind::CcA => (1.0, 14.0),
+        WorkloadKind::CcB => (1.0, 9.0),
+        WorkloadKind::CcC => (1.0, 14.0),
+        WorkloadKind::CcD => (1.0, 14.0),
+        WorkloadKind::CcE => (1.0, 9.0),
+        WorkloadKind::Fb2009 => (0.05, 14.0),
+        WorkloadKind::Fb2010 => (0.02, 14.0),
+        WorkloadKind::Custom(_) => (1.0, 7.0),
+    };
+    match scale {
+        CorpusScale::Standard => (s, d),
+        CorpusScale::Quick => (s * 0.3, d.min(3.0)),
+    }
+}
+
+/// The seven generated traces, in Table 1 order.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The traces.
+    pub traces: Vec<Trace>,
+    /// Scale the corpus was generated at.
+    pub scale: CorpusScale,
+    /// Seed used.
+    pub seed: u64,
+}
+
+impl Corpus {
+    /// Build the corpus, generating the seven workloads in parallel.
+    pub fn build(scale: CorpusScale, seed: u64) -> Corpus {
+        let kinds = WorkloadKind::PAPER_SEVEN;
+        let traces: Vec<Trace> = thread::scope(|s| {
+            let handles: Vec<_> = kinds
+                .iter()
+                .map(|kind| {
+                    s.spawn(move |_| {
+                        let (job_scale, days) = scale_params(kind, scale);
+                        WorkloadGenerator::new(
+                            GeneratorConfig::new(kind.clone())
+                                .scale(job_scale)
+                                .days(days)
+                                .seed(seed ^ fxhash(kind.label())),
+                        )
+                        .generate()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("generator thread")).collect()
+        })
+        .expect("corpus build scope");
+        Corpus { traces, scale, seed }
+    }
+
+    /// Trace for a given workload.
+    pub fn get(&self, kind: &WorkloadKind) -> &Trace {
+        self.traces
+            .iter()
+            .find(|t| &t.kind == kind)
+            .expect("paper workload present in corpus")
+    }
+
+    /// The five Cloudera traces with output paths (CC-b..CC-e) — the
+    /// subset Figs. 2 (output), 4, and 6 can use.
+    pub fn with_output_paths(&self) -> Vec<&Trace> {
+        self.traces
+            .iter()
+            .filter(|t| t.jobs().iter().any(|j| !j.output_paths.is_empty()))
+            .collect()
+    }
+
+    /// Traces with input paths (CC-b..CC-e, FB-2010).
+    pub fn with_input_paths(&self) -> Vec<&Trace> {
+        self.traces
+            .iter()
+            .filter(|t| t.jobs().iter().any(|j| !j.input_paths.is_empty()))
+            .collect()
+    }
+}
+
+/// Tiny deterministic string hash for per-workload seed derivation.
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_corpus_builds_all_seven() {
+        let c = Corpus::build(CorpusScale::Quick, 1);
+        assert_eq!(c.traces.len(), 7);
+        for t in &c.traces {
+            assert!(!t.is_empty(), "{} is empty", t.kind);
+        }
+    }
+
+    #[test]
+    fn path_subsets_match_availability_matrix() {
+        let c = Corpus::build(CorpusScale::Quick, 2);
+        let with_out: Vec<&str> =
+            c.with_output_paths().iter().map(|t| t.kind.label()).collect();
+        assert_eq!(with_out, vec!["CC-b", "CC-c", "CC-d", "CC-e"]);
+        let with_in: Vec<&str> =
+            c.with_input_paths().iter().map(|t| t.kind.label()).collect();
+        assert_eq!(with_in, vec!["CC-b", "CC-c", "CC-d", "CC-e", "FB-2010"]);
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = Corpus::build(CorpusScale::Quick, 3);
+        let b = Corpus::build(CorpusScale::Quick, 3);
+        for (x, y) in a.traces.iter().zip(&b.traces) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn get_returns_requested_kind() {
+        let c = Corpus::build(CorpusScale::Quick, 4);
+        assert_eq!(c.get(&WorkloadKind::CcC).kind, WorkloadKind::CcC);
+    }
+}

@@ -1,0 +1,134 @@
+//! Figure 10 — the first word of job names per workload, weighted by job
+//! count, by total I/O, and by task-time; framework breakdown.
+//!
+//! Published shape: a handful of words cover most jobs; at most two
+//! frameworks dominate each workload; Hive activity is led by `insert`
+//! and `select` with `from` prominent only in FB-2009; data-centric words
+//! rise under the I/O and task-time weightings. FB-2010 ships no names.
+
+use crate::render::{pct, Table};
+use crate::Corpus;
+use swim_core::names::{NameAnalysis, Weighting};
+
+/// How many top words to print per weighting.
+pub const TOP_N: usize = 5;
+
+/// Regenerate the Figure 10 report.
+pub fn run(corpus: &Corpus) -> String {
+    let mut out = String::from(
+        "Figure 10: First word of job names (by jobs / I/O / task-time)\n\n",
+    );
+    for trace in &corpus.traces {
+        let analysis = NameAnalysis::of(trace);
+        out.push_str(&format!("{}:\n", trace.kind));
+        if !analysis.has_names() {
+            out.push_str("  (trace has no job names — as published for FB-2010)\n\n");
+            continue;
+        }
+        for (weighting, label, total) in [
+            (Weighting::Jobs, "jobs", analysis.total_jobs as f64),
+            (Weighting::Bytes, "bytes", analysis.total_bytes),
+            (Weighting::TaskTime, "task-time", analysis.total_task_seconds),
+        ] {
+            let groups = analysis.sorted_by(weighting);
+            let parts: Vec<String> = groups
+                .iter()
+                .take(TOP_N)
+                .map(|g| {
+                    let w = match weighting {
+                        Weighting::Jobs => g.jobs as f64,
+                        Weighting::Bytes => g.bytes,
+                        Weighting::TaskTime => g.task_seconds,
+                    };
+                    format!("{} {}", g.word, pct(w / total.max(1.0)))
+                })
+                .collect();
+            out.push_str(&format!("  by {label:<9}: {}\n", parts.join(", ")));
+        }
+        let shares = analysis.framework_shares();
+        let fw: Vec<String> = shares
+            .iter()
+            .map(|s| format!("{} {}", s.framework, pct(s.jobs)))
+            .collect();
+        out.push_str(&format!(
+            "  frameworks : {} | top-5 words cover {} of jobs\n\n",
+            fw.join(", "),
+            pct(analysis.top_k_job_share(TOP_N))
+        ));
+    }
+    let mut table = Table::new(vec!["Workload", "top-2 framework share of jobs"]);
+    for trace in &corpus.traces {
+        let analysis = NameAnalysis::of(trace);
+        if !analysis.has_names() {
+            continue;
+        }
+        let shares = analysis.framework_shares();
+        let top2: f64 = shares.iter().take(2).map(|s| s.jobs).sum();
+        table.row(vec![trace.kind.label().to_owned(), pct(top2)]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nShape check (paper): top words dominate; two frameworks cover a \
+         dominant majority per workload; `from` carries an outsized I/O and \
+         task-time share only in FB-2009.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tests::test_corpus;
+    use swim_trace::trace::WorkloadKind;
+
+    #[test]
+    fn top_words_cover_dominant_majority() {
+        let corpus = test_corpus();
+        for trace in &corpus.traces {
+            let analysis = NameAnalysis::of(trace);
+            if !analysis.has_names() {
+                continue;
+            }
+            let share = analysis.top_k_job_share(TOP_N);
+            assert!(share > 0.6, "{}: top-{TOP_N} share {share:.2}", trace.kind);
+        }
+    }
+
+    #[test]
+    fn two_frameworks_dominate() {
+        let corpus = test_corpus();
+        for trace in &corpus.traces {
+            let analysis = NameAnalysis::of(trace);
+            if !analysis.has_names() {
+                continue;
+            }
+            let shares = analysis.framework_shares();
+            let top2: f64 = shares.iter().take(2).map(|s| s.jobs).sum();
+            assert!(top2 > 0.55, "{}: top-2 frameworks {top2:.2}", trace.kind);
+        }
+    }
+
+    #[test]
+    fn from_is_io_heavy_in_fb2009() {
+        let corpus = test_corpus();
+        let analysis = NameAnalysis::of(corpus.get(&WorkloadKind::Fb2009));
+        let from = analysis
+            .groups
+            .iter()
+            .find(|g| g.word == "from")
+            .expect("fb2009 has `from` jobs");
+        let job_share = from.jobs as f64 / analysis.total_jobs as f64;
+        let io_share = from.bytes / analysis.total_bytes;
+        assert!(
+            io_share > 2.0 * job_share,
+            "from: io share {io_share:.3} vs job share {job_share:.3}"
+        );
+    }
+
+    #[test]
+    fn fb2010_is_nameless() {
+        let corpus = test_corpus();
+        let analysis = NameAnalysis::of(corpus.get(&WorkloadKind::Fb2010));
+        assert!(!analysis.has_names());
+    }
+}

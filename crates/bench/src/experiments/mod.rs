@@ -1,0 +1,74 @@
+//! One module per reproduced artifact. Every `run` function takes the
+//! shared [`crate::Corpus`] and returns a printable report that states
+//! (a) what the paper reports, (b) what the synthetic reproduction
+//! measures, and (c) whether the *shape* of the result holds.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod fig10;
+pub mod swimexp;
+pub mod table1;
+pub mod table2;
+
+use crate::Corpus;
+
+/// All experiment ids, in paper order.
+pub const ALL: [&str; 13] = [
+    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "table2", "swim",
+];
+
+/// Dispatch an experiment by id.
+pub fn run(id: &str, corpus: &Corpus) -> Option<String> {
+    let report = match id {
+        "table1" => table1::run(corpus),
+        "fig1" => fig1::run(corpus),
+        "fig2" => fig2::run(corpus),
+        "fig3" => fig3::run(corpus),
+        "fig4" => fig4::run(corpus),
+        "fig5" => fig5::run(corpus),
+        "fig6" => fig6::run(corpus),
+        "fig7" => fig7::run(corpus),
+        "fig8" => fig8::run(corpus),
+        "fig9" => fig9::run(corpus),
+        "fig10" => fig10::run(corpus),
+        "table2" => table2::run(corpus),
+        "swim" => swimexp::run(corpus),
+        _ => return None,
+    };
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CorpusScale;
+    use std::sync::OnceLock;
+
+    /// Shared quick corpus so the experiment smoke tests build it once.
+    pub(crate) fn test_corpus() -> &'static Corpus {
+        static CORPUS: OnceLock<Corpus> = OnceLock::new();
+        CORPUS.get_or_init(|| Corpus::build(CorpusScale::Quick, 42))
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run("fig99", test_corpus()).is_none());
+    }
+
+    #[test]
+    fn all_experiments_produce_reports() {
+        for id in ALL {
+            let report = run(id, test_corpus()).expect(id);
+            assert!(report.len() > 100, "{id} report suspiciously short");
+            assert!(report.contains("paper"), "{id} must cite paper values");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! §7's SWIM pipeline, end to end: take the FB-2009 trace, sample it down
+//! to one synthetic day, scale it to a 20-node cluster, build the HDFS
+//! pre-population and replay plans, replay on the simulator, and validate
+//! with Kolmogorov–Smirnov distances that the synthesis preserved the
+//! original per-job distributions.
+
+use crate::render::Table;
+use crate::Corpus;
+use swim_sim::{SimConfig, Simulator};
+use swim_synth::datagen::DataGenPlan;
+use swim_synth::sample::{sample_windows, SampleConfig};
+use swim_synth::scaledown::{scale_trace, ScaleConfig, ScaleMode};
+use swim_synth::validate::SynthesisReport;
+use swim_synth::ReplayPlan;
+use swim_trace::trace::WorkloadKind;
+use swim_trace::DataSize;
+
+/// Target cluster for the scaled-down replay.
+pub const TARGET_NODES: u32 = 20;
+
+/// KS acceptance threshold for the per-dimension distribution checks.
+/// Window sampling preserves distributions statistically, not exactly;
+/// 0.25 rejects gross distortion while tolerating sampling noise.
+pub const KS_THRESHOLD: f64 = 0.25;
+
+/// Run the SWIM pipeline and report each stage.
+pub fn run(corpus: &Corpus) -> String {
+    let source = corpus.get(&WorkloadKind::Fb2009);
+    let mut out = String::from(
+        "SWIM (§7): synthesize a scaled-down, replayable FB-2009 workload\n\n",
+    );
+    out.push_str(&format!(
+        "source trace: {} jobs over {}, {} moved\n",
+        source.len(),
+        source.span(),
+        source.bytes_moved()
+    ));
+
+    // 1. Sample one synthetic day out of the trace.
+    let sampled = sample_windows(source, SampleConfig::one_day_from_hours(7));
+    out.push_str(&format!(
+        "sampled     : {} jobs over {} (hour windows → 1 day)\n",
+        sampled.len(),
+        sampled.span()
+    ));
+
+    // 2. Scale data sizes to the target cluster.
+    let scaled = scale_trace(
+        &sampled,
+        ScaleConfig { target_machines: TARGET_NODES, mode: ScaleMode::DataSize, seed: 0 },
+    );
+    out.push_str(&format!(
+        "scaled      : {} nodes, {} to move\n",
+        TARGET_NODES,
+        scaled.bytes_moved()
+    ));
+
+    // 3. Pre-population + replay plans.
+    let datagen = DataGenPlan::from_trace(&scaled, DataSize::from_mb(128));
+    let plan = ReplayPlan::from_trace(&scaled);
+    out.push_str(&format!(
+        "datagen     : {} files, {} ({} blocks) to pre-populate\n",
+        datagen.file_count(),
+        datagen.total_bytes(),
+        datagen.total_blocks()
+    ));
+    out.push_str(&format!(
+        "replay plan : {} jobs, schedule length {}\n",
+        plan.len(),
+        plan.schedule_length()
+    ));
+
+    // 4. Replay on the simulator.
+    let sim = Simulator::new(SimConfig::new(TARGET_NODES));
+    let result = sim.run(&plan, None);
+    out.push_str(&format!(
+        "replayed    : makespan {}, median latency {:.0} s, mean queue delay {:.1} s\n\n",
+        result.makespan,
+        result.median_latency(),
+        result.mean_queue_delay()
+    ));
+
+    // 5. Validate distributions (scale-invariant dims: duration, task-time,
+    //    interarrival; byte dims compared pre-scaling).
+    let report = SynthesisReport::compare(source, &sampled);
+    let mut table = Table::new(vec!["Dimension", "KS distance", "within threshold"]);
+    for (name, d) in [
+        ("input bytes", report.input),
+        ("shuffle bytes", report.shuffle),
+        ("output bytes", report.output),
+        ("duration", report.duration),
+        ("task-time", report.task_time),
+        ("inter-arrival", report.interarrival),
+    ] {
+        table.row(vec![
+            name.to_owned(),
+            format!("{d:.3}"),
+            if d <= KS_THRESHOLD { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nworst dimension: {:.3} (threshold {KS_THRESHOLD}).\n\
+         Shape check (paper): SWIM's replay preserves per-job data-size and \
+         arrival distributions while compressing months to a day and \
+         thousands of nodes to {TARGET_NODES}.\n",
+        report.worst()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tests::test_corpus;
+
+    #[test]
+    fn pipeline_preserves_distributions() {
+        let corpus = test_corpus();
+        let source = corpus.get(&WorkloadKind::Fb2009);
+        let sampled = sample_windows(source, SampleConfig::one_day_from_hours(7));
+        let report = SynthesisReport::compare(source, &sampled);
+        assert!(
+            report.passes(KS_THRESHOLD),
+            "KS worst {:.3} exceeds {KS_THRESHOLD}",
+            report.worst()
+        );
+    }
+
+    #[test]
+    fn scaled_replay_completes() {
+        let corpus = test_corpus();
+        let source = corpus.get(&WorkloadKind::Fb2009);
+        let sampled = sample_windows(source, SampleConfig::one_day_from_hours(3));
+        let scaled = scale_trace(
+            &sampled,
+            ScaleConfig {
+                target_machines: TARGET_NODES,
+                mode: ScaleMode::DataSize,
+                seed: 0,
+            },
+        );
+        let plan = ReplayPlan::from_trace(&scaled);
+        let result = Simulator::new(SimConfig::new(TARGET_NODES)).run(&plan, None);
+        assert_eq!(result.outcomes.len(), plan.len());
+    }
+
+    #[test]
+    fn scaling_shrinks_bytes_by_node_ratio() {
+        let corpus = test_corpus();
+        let source = corpus.get(&WorkloadKind::Fb2009);
+        let scaled = scale_trace(
+            source,
+            ScaleConfig {
+                target_machines: TARGET_NODES,
+                mode: ScaleMode::DataSize,
+                seed: 0,
+            },
+        );
+        let expected = TARGET_NODES as f64 / source.machines as f64;
+        let actual = scaled.bytes_moved().as_f64() / source.bytes_moved().as_f64();
+        assert!((actual / expected - 1.0).abs() < 0.01, "ratio {actual:.4}");
+    }
+}

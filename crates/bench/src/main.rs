@@ -1,0 +1,93 @@
+//! `swim-repro`: regenerate the tables and figures of the VLDB'12
+//! cross-industry MapReduce workload study from synthetic traces.
+//!
+//! Usage:
+//!
+//! ```text
+//! swim-repro [--quick] [--seed N] <experiment>...
+//! swim-repro all              # every table and figure
+//! swim-repro table1 fig8      # a subset
+//! swim-repro --list           # list experiment ids
+//! ```
+
+use std::process::ExitCode;
+use swim_bench::experiments;
+use swim_bench::{Corpus, CorpusScale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = CorpusScale::Standard;
+    let mut seed: u64 = 42;
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => scale = CorpusScale::Quick,
+            "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed requires an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                for id in experiments::ALL {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                print_help();
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        print_help();
+        return ExitCode::FAILURE;
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !experiments::ALL.contains(&id.as_str()) {
+            eprintln!("unknown experiment {id}; use --list");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!(
+        "building corpus ({}, seed {seed}) ...",
+        match scale {
+            CorpusScale::Quick => "quick",
+            CorpusScale::Standard => "standard",
+        }
+    );
+    let corpus = Corpus::build(scale, seed);
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            println!("\n{}\n", "=".repeat(72));
+        }
+        match experiments::run(id, &corpus) {
+            Some(report) => println!("{report}"),
+            None => unreachable!("ids validated above"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_help() {
+    eprintln!(
+        "swim-repro — regenerate the VLDB'12 study's tables and figures\n\n\
+         usage: swim-repro [--quick] [--seed N] <experiment>...\n\
+         experiments: {} | all\n\
+         flags: --quick (small corpus), --seed N, --list, --help",
+        experiments::ALL.join(" | ")
+    );
+}

@@ -1,0 +1,164 @@
+//! ASCII rendering helpers: aligned tables and sparklines for terminal
+//! reports.
+
+/// A simple left-aligned ASCII table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row. Rows shorter than the header are padded.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string with aligned columns and a separator line.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                if i + 1 < cells.len() {
+                    line.push_str(&" ".repeat(widths[i].saturating_sub(cell.len())));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a numeric series as a unicode sparkline (8 levels). Empty input
+/// yields an empty string; a constant series renders mid-level.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let range = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return '?';
+            }
+            if range <= 0.0 {
+                return LEVELS[3];
+            }
+            let idx = ((v - min) / range * 7.0).round() as usize;
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Format a ratio like `31:1`.
+pub fn ratio(r: f64) -> String {
+    if r >= 10.0 {
+        format!("{:.0}:1", r)
+    } else {
+        format!("{:.1}:1", r)
+    }
+}
+
+/// Format a fraction as a percentage with sensible precision.
+pub fn pct(f: f64) -> String {
+    let p = f * 100.0;
+    if p >= 10.0 {
+        format!("{p:.0}%")
+    } else if p >= 1.0 {
+        format!("{p:.1}%")
+    } else {
+        format!("{p:.2}%")
+    }
+}
+
+/// Format a byte count in the paper's decimal units.
+pub fn bytes(b: f64) -> String {
+    swim_trace::DataSize::from_f64(b).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["xxx", "y"]);
+        t.row(vec!["z", "wwww"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a  "));
+        assert!(lines[2].starts_with("xxx"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().lines().count() >= 3);
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0, 5.0]), "▄▄");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(31.2), "31:1");
+        assert_eq!(ratio(9.4), "9.4:1");
+        assert_eq!(pct(0.80), "80%");
+        assert_eq!(pct(0.056), "5.6%");
+        assert_eq!(pct(0.0012), "0.12%");
+        assert_eq!(bytes(1.2e12), "1.20 TB");
+    }
+}

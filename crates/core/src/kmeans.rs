@@ -1,0 +1,585 @@
+//! K-means clustering of jobs in the six-dimensional behaviour space
+//! (§6.2, Table 2): input, shuffle, output bytes; duration; map and
+//! reduce task-time.
+//!
+//! The paper's methodology (from the authors' earlier MASCOTS'11 work):
+//! run k-means for increasing `k` and stop when the decrease in residual
+//! (intra-cluster) variance shows diminishing returns — the elbow rule.
+//! Cluster centers are then labelled with common terminology ("Small
+//! jobs", "Map only transform", "Aggregate", …) from the one or two
+//! dimensions that separate them.
+//!
+//! Feature scaling is an explicit, ablatable choice: job dimensions span
+//! nine orders of magnitude, so the default is `log1p` + z-score; raw
+//! features reproduce the paper's literal procedure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use swim_trace::{DataSize, Dur, Job, Trace};
+
+/// Feature preprocessing applied before clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureScaling {
+    /// Cluster the raw byte/second values (the paper's literal procedure).
+    Raw,
+    /// `ln(1+x)` then per-dimension z-score (numerically robust default).
+    LogZScore,
+}
+
+/// Configuration for [`KMeans`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed for centroid initialization (k-means++).
+    pub seed: u64,
+    /// Feature preprocessing.
+    pub scaling: FeatureScaling,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 4, max_iters: 100, seed: 0, scaling: FeatureScaling::LogZScore }
+    }
+}
+
+/// One fitted cluster, reported in original (unscaled) units as a Table 2
+/// row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Number of member jobs.
+    pub count: u64,
+    /// Centroid input bytes.
+    pub input: DataSize,
+    /// Centroid shuffle bytes.
+    pub shuffle: DataSize,
+    /// Centroid output bytes.
+    pub output: DataSize,
+    /// Centroid duration.
+    pub duration: Dur,
+    /// Centroid map task-time.
+    pub map_time: Dur,
+    /// Centroid reduce task-time.
+    pub reduce_time: Dur,
+    /// Heuristic label in the paper's vocabulary.
+    pub label: String,
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    /// Configuration used.
+    pub config: KMeansConfig,
+    /// Fitted clusters, sorted by population (largest first — Table 2 order).
+    pub clusters: Vec<Cluster>,
+    /// Residual (total intra-cluster) variance in scaled feature space.
+    pub inertia: f64,
+    /// Per-job cluster assignment, parallel to the input job order.
+    pub assignments: Vec<usize>,
+}
+
+/// Per-dimension scaling parameters recovered during preprocessing.
+struct Scaler {
+    scaling: FeatureScaling,
+    mean: [f64; 6],
+    std: [f64; 6],
+}
+
+impl Scaler {
+    fn fit(features: &[[f64; 6]], scaling: FeatureScaling) -> Scaler {
+        let mut mean = [0.0; 6];
+        let mut std = [1.0; 6];
+        if scaling == FeatureScaling::LogZScore && !features.is_empty() {
+            let n = features.len() as f64;
+            for d in 0..6 {
+                let m: f64 = features.iter().map(|f| f[d].ln_1p()).sum::<f64>() / n;
+                let v: f64 = features
+                    .iter()
+                    .map(|f| (f[d].ln_1p() - m).powi(2))
+                    .sum::<f64>()
+                    / n;
+                mean[d] = m;
+                std[d] = v.sqrt().max(1e-12);
+            }
+        }
+        Scaler { scaling, mean, std }
+    }
+
+    fn transform(&self, f: &[f64; 6]) -> [f64; 6] {
+        match self.scaling {
+            FeatureScaling::Raw => *f,
+            FeatureScaling::LogZScore => {
+                let mut out = [0.0; 6];
+                for d in 0..6 {
+                    out[d] = (f[d].ln_1p() - self.mean[d]) / self.std[d];
+                }
+                out
+            }
+        }
+    }
+}
+
+fn sq_dist(a: &[f64; 6], b: &[f64; 6]) -> f64 {
+    let mut s = 0.0;
+    for d in 0..6 {
+        let diff = a[d] - b[d];
+        s += diff * diff;
+    }
+    s
+}
+
+impl KMeans {
+    /// Fit k-means over a trace's jobs. Panics if the trace has fewer jobs
+    /// than clusters.
+    pub fn fit(trace: &Trace, config: KMeansConfig) -> KMeans {
+        let features: Vec<[f64; 6]> =
+            trace.jobs().iter().map(|j| j.feature_vector()).collect();
+        Self::fit_features(&features, trace.jobs(), config)
+    }
+
+    fn fit_features(raw: &[[f64; 6]], jobs: &[Job], config: KMeansConfig) -> KMeans {
+        assert!(config.k >= 1, "k must be at least 1");
+        assert!(
+            raw.len() >= config.k,
+            "need at least k = {} jobs, got {}",
+            config.k,
+            raw.len()
+        );
+        let scaler = Scaler::fit(raw, config.scaling);
+        let points: Vec<[f64; 6]> = raw.iter().map(|f| scaler.transform(f)).collect();
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut centroids = kmeanspp_init(&points, config.k, &mut rng);
+        let mut assignments = vec![0usize; points.len()];
+
+        for _ in 0..config.max_iters {
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let nearest = centroids
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        sq_dist(p, a).partial_cmp(&sq_dist(p, b)).expect("finite")
+                    })
+                    .map(|(idx, _)| idx)
+                    .expect("k >= 1");
+                if assignments[i] != nearest {
+                    assignments[i] = nearest;
+                    changed = true;
+                }
+            }
+            // Recompute centroids; empty clusters are re-seeded at the
+            // point farthest from its centroid to keep k populated.
+            let mut sums = vec![[0.0; 6]; config.k];
+            let mut counts = vec![0u64; config.k];
+            for (i, p) in points.iter().enumerate() {
+                let c = assignments[i];
+                counts[c] += 1;
+                for d in 0..6 {
+                    sums[c][d] += p[d];
+                }
+            }
+            for c in 0..config.k {
+                if counts[c] == 0 {
+                    let far = points
+                        .iter()
+                        .enumerate()
+                        .max_by(|(i, p), (j, q)| {
+                            sq_dist(p, &centroids[assignments[*i]])
+                                .partial_cmp(&sq_dist(q, &centroids[assignments[*j]]))
+                                .expect("finite")
+                        })
+                        .map(|(i, _)| i)
+                        .expect("non-empty points");
+                    centroids[c] = points[far];
+                    changed = true;
+                } else {
+                    for d in 0..6 {
+                        centroids[c][d] = sums[c][d] / counts[c] as f64;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let inertia: f64 = points
+            .iter()
+            .zip(&assignments)
+            .map(|(p, &c)| sq_dist(p, &centroids[c]))
+            .sum();
+
+        // Report centroids in original units as per-cluster medians (robust
+        // against the heavy within-cluster tails), labelled heuristically.
+        let mut clusters: Vec<Cluster> = (0..config.k)
+            .map(|c| {
+                let members: Vec<&Job> = jobs
+                    .iter()
+                    .zip(&assignments)
+                    .filter(|(_, &a)| a == c)
+                    .map(|(j, _)| j)
+                    .collect();
+                cluster_from_members(&members)
+            })
+            .collect();
+
+        // Table 2 orders clusters by population, largest first; remap
+        // assignments to the sorted order.
+        let mut order: Vec<usize> = (0..config.k).collect();
+        order.sort_by(|&a, &b| clusters[b].count.cmp(&clusters[a].count));
+        let mut remap = vec![0usize; config.k];
+        for (new_idx, &old_idx) in order.iter().enumerate() {
+            remap[old_idx] = new_idx;
+        }
+        clusters.sort_by(|a, b| b.count.cmp(&a.count));
+        let assignments = assignments.into_iter().map(|a| remap[a]).collect();
+
+        KMeans { config, clusters, inertia, assignments }
+    }
+
+    /// Fit for increasing `k` and pick the elbow: the smallest `k` whose
+    /// incremental inertia reduction falls below `threshold` (fraction of
+    /// the previous inertia). Returns the chosen model.
+    pub fn fit_with_elbow(
+        trace: &Trace,
+        max_k: usize,
+        threshold: f64,
+        base: KMeansConfig,
+    ) -> KMeans {
+        assert!(max_k >= 1);
+        let mut prev: Option<KMeans> = None;
+        for k in 1..=max_k.min(trace.len()) {
+            let model = KMeans::fit(trace, KMeansConfig { k, ..base });
+            if let Some(p) = &prev {
+                let drop = if p.inertia > 0.0 {
+                    (p.inertia - model.inertia) / p.inertia
+                } else {
+                    0.0
+                };
+                if drop < threshold {
+                    return prev.expect("set above");
+                }
+            }
+            prev = Some(model);
+        }
+        prev.expect("max_k >= 1")
+    }
+}
+
+/// k-means++ initialization: first centroid uniform, subsequent ones
+/// sampled with probability proportional to squared distance from the
+/// nearest existing centroid.
+fn kmeanspp_init<R: Rng + ?Sized>(
+    points: &[[f64; 6]],
+    k: usize,
+    rng: &mut R,
+) -> Vec<[f64; 6]> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())]);
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| sq_dist(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids; pick uniformly.
+            rng.random_range(0..points.len())
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next]);
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(sq_dist(p, centroids.last().expect("just pushed")));
+        }
+    }
+    centroids
+}
+
+fn median_of(mut values: Vec<f64>) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    values[values.len() / 2]
+}
+
+fn cluster_from_members(members: &[&Job]) -> Cluster {
+    let input = median_of(members.iter().map(|j| j.input.as_f64()).collect());
+    let shuffle = median_of(members.iter().map(|j| j.shuffle.as_f64()).collect());
+    let output = median_of(members.iter().map(|j| j.output.as_f64()).collect());
+    let duration = median_of(members.iter().map(|j| j.duration.as_f64()).collect());
+    let map_time = median_of(members.iter().map(|j| j.map_task_time.as_f64()).collect());
+    let reduce_time =
+        median_of(members.iter().map(|j| j.reduce_task_time.as_f64()).collect());
+    let c = Cluster {
+        count: members.len() as u64,
+        input: DataSize::from_f64(input),
+        shuffle: DataSize::from_f64(shuffle),
+        output: DataSize::from_f64(output),
+        duration: Dur::from_f64(duration),
+        map_time: Dur::from_f64(map_time),
+        reduce_time: Dur::from_f64(reduce_time),
+        label: String::new(),
+    };
+    Cluster { label: label_cluster(&c), ..c }
+}
+
+/// Heuristic cluster labelling in the paper's Table 2 vocabulary, driven
+/// by the data ratios between stages:
+///
+/// * tiny total data → "Small jobs";
+/// * no reduce stage → "Map only" + transform/aggregate/summary by
+///   output:input ratio;
+/// * output ≪ input → "Aggregate"; output ≫ input → "Expand";
+/// * otherwise → "Transform"; very long jobs gain a duration suffix.
+pub fn label_cluster(c: &Cluster) -> String {
+    let total = c.input + c.shuffle + c.output;
+    if total < DataSize::from_gb(10) && c.duration < Dur::from_mins(10) {
+        return "Small jobs".to_owned();
+    }
+    let input = c.input.as_f64().max(1.0);
+    let output = c.output.as_f64().max(1.0);
+    let ratio = output / input;
+    let map_only = c.shuffle.is_zero() && c.reduce_time.is_zero();
+    let base = if map_only {
+        if ratio < 0.01 {
+            "Map only summary"
+        } else if ratio < 0.5 {
+            "Map only aggregate"
+        } else {
+            "Map only transform"
+        }
+    } else if ratio < 0.1 {
+        "Aggregate"
+    } else if ratio > 10.0 {
+        "Expand"
+    } else {
+        "Transform"
+    };
+    if c.duration >= Dur::from_hours(12) {
+        format!("{base}, long")
+    } else {
+        base.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swim_trace::trace::WorkloadKind;
+    use swim_trace::{JobBuilder, Timestamp};
+
+    /// Deterministic multiplicative jitter in (0.8, 1.25), independent per
+    /// call — keeps within-cluster spread continuous in all six dimensions
+    /// so the elbow criterion sees two blobs, not lattice sub-structure.
+    struct Jitter(u64);
+    impl Jitter {
+        fn next(&mut self) -> f64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (self.0 >> 33) as f64 / (1u64 << 31) as f64; // [0, 1)
+            0.8 * 1.5625f64.powf(u) // log-uniform in [0.8, 1.25]
+        }
+    }
+
+    /// Two well-separated synthetic populations: tiny jobs and huge jobs.
+    fn bimodal_trace(n_small: usize, n_big: usize) -> Trace {
+        let mut jobs = Vec::new();
+        let mut jit = Jitter(0x5EED);
+        for i in 0..n_small {
+            let mut j = |v: f64| (v * jit.next()) as u64;
+            jobs.push(
+                JobBuilder::new(i as u64)
+                    .submit(Timestamp::from_secs(i as u64))
+                    .duration(Dur::from_secs(j(30.0).max(1)))
+                    .input(DataSize::from_bytes(j(20_000.0)))
+                    .output(DataSize::from_bytes(j(800_000.0)))
+                    .map_task_time(Dur::from_secs(j(20.0).max(1)))
+                    .tasks(1, 0)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        for i in 0..n_big {
+            let id = (n_small + i) as u64;
+            let mut j = |v: f64| (v * jit.next()) as u64;
+            jobs.push(
+                JobBuilder::new(id)
+                    .submit(Timestamp::from_secs(id))
+                    .duration(Dur::from_secs(j(5400.0)))
+                    .input(DataSize::from_bytes(j(400e9)))
+                    .shuffle(DataSize::from_bytes(j(2e12)))
+                    .output(DataSize::from_bytes(j(45e9)))
+                    .map_task_time(Dur::from_secs(j(1_000_000.0)))
+                    .reduce_task_time(Dur::from_secs(j(900_000.0)))
+                    .tasks(1000, 100)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        Trace::new(WorkloadKind::Custom("bimodal".into()), 1, jobs).unwrap()
+    }
+
+    #[test]
+    fn separates_bimodal_population() {
+        let t = bimodal_trace(900, 100);
+        let m = KMeans::fit(&t, KMeansConfig { k: 2, ..Default::default() });
+        assert_eq!(m.clusters.len(), 2);
+        assert_eq!(m.clusters[0].count, 900);
+        assert_eq!(m.clusters[1].count, 100);
+        assert_eq!(m.clusters[0].label, "Small jobs");
+        assert!(m.clusters[1].input > DataSize::from_gb(100));
+    }
+
+    #[test]
+    fn assignments_match_cluster_sizes() {
+        let t = bimodal_trace(50, 50);
+        let m = KMeans::fit(&t, KMeansConfig { k: 2, ..Default::default() });
+        for (c_idx, cluster) in m.clusters.iter().enumerate() {
+            let assigned =
+                m.assignments.iter().filter(|&&a| a == c_idx).count() as u64;
+            assert_eq!(assigned, cluster.count);
+        }
+    }
+
+    #[test]
+    fn inertia_non_increasing_in_k() {
+        let t = bimodal_trace(300, 60);
+        let mut last = f64::INFINITY;
+        for k in 1..=5 {
+            let m = KMeans::fit(
+                &t,
+                KMeansConfig { k, seed: 42, ..Default::default() },
+            );
+            assert!(
+                m.inertia <= last + 1e-6,
+                "inertia increased at k={k}: {} > {last}",
+                m.inertia
+            );
+            last = m.inertia;
+        }
+    }
+
+    #[test]
+    fn elbow_picks_two_for_bimodal() {
+        let t = bimodal_trace(500, 100);
+        let m = KMeans::fit_with_elbow(&t, 8, 0.25, KMeansConfig::default());
+        assert_eq!(m.config.k, 2, "elbow chose k = {}", m.config.k);
+    }
+
+    #[test]
+    fn raw_scaling_is_dominated_by_biggest_dimension() {
+        // With raw features the shuffle-TB dimension dwarfs everything;
+        // the fit still separates bimodal data but inertia is huge.
+        let t = bimodal_trace(100, 100);
+        let m = KMeans::fit(
+            &t,
+            KMeansConfig { k: 2, scaling: FeatureScaling::Raw, ..Default::default() },
+        );
+        assert_eq!(m.clusters.len(), 2);
+        assert_eq!(m.clusters[0].count, 100);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = bimodal_trace(200, 40);
+        let a = KMeans::fit(&t, KMeansConfig { seed: 7, ..Default::default() });
+        let b = KMeans::fit(&t, KMeansConfig { seed: 7, ..Default::default() });
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn labels_cover_paper_vocabulary() {
+        let mk = |input: DataSize, shuffle: DataSize, output: DataSize, dur: Dur, rt: Dur| {
+            Cluster {
+                count: 1,
+                input,
+                shuffle,
+                output,
+                duration: dur,
+                map_time: Dur::from_secs(100),
+                reduce_time: rt,
+                label: String::new(),
+            }
+        };
+        // Small.
+        assert_eq!(
+            label_cluster(&mk(
+                DataSize::from_kb(21),
+                DataSize::ZERO,
+                DataSize::from_kb(871),
+                Dur::from_secs(32),
+                Dur::ZERO
+            )),
+            "Small jobs"
+        );
+        // Map-only summary: 3 TB → 200 B.
+        assert_eq!(
+            label_cluster(&mk(
+                DataSize::from_tb(3),
+                DataSize::ZERO,
+                DataSize::from_bytes(200),
+                Dur::from_mins(5),
+                Dur::ZERO
+            )),
+            "Map only summary"
+        );
+        // Aggregate: 4.7 TB → 24 MB with a reduce stage.
+        assert_eq!(
+            label_cluster(&mk(
+                DataSize::from_tb(4),
+                DataSize::from_mb(374),
+                DataSize::from_mb(24),
+                Dur::from_mins(9),
+                Dur::from_secs(705)
+            )),
+            "Aggregate"
+        );
+        // Expand: output ≫ input.
+        assert_eq!(
+            label_cluster(&mk(
+                DataSize::from_kb(400),
+                DataSize::ZERO,
+                DataSize::from_gb(447),
+                Dur::from_hours(1),
+                Dur::from_secs(10)
+            )),
+            "Expand"
+        );
+        // Long suffix.
+        assert_eq!(
+            label_cluster(&mk(
+                DataSize::from_gb(630),
+                DataSize::from_tb(1),
+                DataSize::from_gb(140),
+                Dur::from_hours(18),
+                Dur::from_secs(10)
+            )),
+            "Transform, long"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least k")]
+    fn rejects_fewer_jobs_than_k() {
+        let t = bimodal_trace(2, 0);
+        KMeans::fit(&t, KMeansConfig { k: 5, ..Default::default() });
+    }
+}

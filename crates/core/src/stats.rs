@@ -1,0 +1,350 @@
+//! Statistical primitives: empirical CDFs/quantiles, descriptive stats,
+//! Pearson correlation, ordinary least squares, and log-scale histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution over a finite sample.
+///
+/// Every figure-1-style CDF in the paper is one of these; the harness
+/// evaluates it at log-spaced points to print the published curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples; NaNs are rejected.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "samples must not contain NaN"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` iff no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x` (the CDF value at `x`).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile at probability `p ∈ [0, 1]` using nearest-rank. Panics on
+    /// an empty sample.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty sample");
+        let p = p.clamp(0.0, 1.0);
+        if p == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (p * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        *self.sorted.first().expect("non-empty")
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluate the CDF at `n` log-spaced points spanning
+    /// `[max(min, floor), max]` — the paper's log-axis CDF plots. `floor`
+    /// guards against zero samples on a log axis (byte sizes of 0).
+    pub fn log_spaced_points(&self, n: usize, floor: f64) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two points");
+        assert!(floor > 0.0, "floor must be positive");
+        if self.sorted.is_empty() {
+            return Vec::new();
+        }
+        let lo = self.min().max(floor);
+        let hi = self.max().max(lo * (1.0 + 1e-12));
+        let (l0, l1) = (lo.log10(), hi.log10());
+        (0..n)
+            .map(|i| {
+                let x = 10f64.powf(l0 + (l1 - l0) * i as f64 / (n - 1) as f64);
+                (x, self.cdf(x))
+            })
+            .collect()
+    }
+}
+
+/// Descriptive statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Describe {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Describe {
+    /// Compute over a non-empty sample.
+    pub fn of(samples: &[f64]) -> Describe {
+        assert!(!samples.is_empty(), "describe of empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let ecdf = Ecdf::new(samples.to_vec());
+        Describe {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: ecdf.min(),
+            median: ecdf.median(),
+            max: ecdf.max(),
+        }
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns 0 when either series is constant (the paper's correlation bars,
+/// Fig. 9, treat degenerate hours-long flat series as uncorrelated rather
+/// than undefined).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Result of a simple linear regression `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares over `(x, y)` points. Needs ≥ 2 points with
+/// non-constant `x`.
+pub fn ols(points: &[(f64, f64)]) -> Option<Regression> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / nf;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in points {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(Regression { slope, intercept, r_squared })
+}
+
+/// A histogram over log10-spaced bins, used for Fig. 1-style summaries
+/// and for the data-generation plans in `swim-synth`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Inclusive lower edge of bin 0 (log10).
+    pub min_log10: f64,
+    /// Bin width in log10 units.
+    pub width_log10: f64,
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+    /// Count of samples at or below zero (unplottable on a log axis).
+    pub zeros: u64,
+}
+
+impl LogHistogram {
+    /// Build a histogram with `bins` bins spanning `[10^min_log10, 10^max_log10)`.
+    pub fn new(min_log10: f64, max_log10: f64, bins: usize) -> Self {
+        assert!(bins >= 1, "need at least one bin");
+        assert!(max_log10 > min_log10, "empty range");
+        LogHistogram {
+            min_log10,
+            width_log10: (max_log10 - min_log10) / bins as f64,
+            counts: vec![0; bins],
+            zeros: 0,
+        }
+    }
+
+    /// Add one sample. Values ≤ 0 count as `zeros`; out-of-range values
+    /// clamp into the first/last bin.
+    pub fn add(&mut self, value: f64) {
+        if value <= 0.0 || value.is_nan() {
+            self.zeros += 1;
+            return;
+        }
+        let pos = (value.log10() - self.min_log10) / self.width_log10;
+        let idx = pos.floor().clamp(0.0, (self.counts.len() - 1) as f64) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Total samples (including zeros).
+    pub fn total(&self) -> u64 {
+        self.zeros + self.counts.iter().sum::<u64>()
+    }
+
+    /// Geometric midpoint value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        10f64.powf(self.min_log10 + (i as f64 + 0.5) * self.width_log10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_cdf_and_quantiles() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(2.0), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.5), 2.0);
+        assert_eq!(e.quantile(1.0), 4.0);
+        assert_eq!(e.median(), 2.0);
+    }
+
+    #[test]
+    fn ecdf_is_monotone() {
+        let e = Ecdf::new(vec![5.0, 1.0, 9.0, 2.0, 2.0, 7.0]);
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let mut last = 0.0;
+        for x in xs {
+            let c = e.cdf(x);
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty sample")]
+    fn ecdf_empty_quantile_panics() {
+        Ecdf::new(vec![]).quantile(0.5);
+    }
+
+    #[test]
+    fn log_spaced_points_cover_range() {
+        let e = Ecdf::new(vec![1.0, 10.0, 100.0, 1000.0]);
+        let pts = e.log_spaced_points(4, 1e-3);
+        assert_eq!(pts.len(), 4);
+        assert!((pts[0].0 - 1.0).abs() < 1e-9);
+        assert!((pts[3].0 - 1000.0).abs() < 1e-6);
+        assert!((pts[3].1 - 1.0).abs() < 1e-12);
+        assert!(pts.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn describe_basics() {
+        let d = Describe::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.n, 4);
+        assert!((d.mean - 2.5).abs() < 1e-12);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 4.0);
+        assert_eq!(d.median, 2.0);
+        assert!((d.std - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn ols_fits_exact_line() {
+        let pts: Vec<(f64, f64)> =
+            (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let r = ols(&pts).unwrap();
+        assert!((r.slope - 3.0).abs() < 1e-12);
+        assert!((r.intercept + 2.0).abs() < 1e-12);
+        assert!((r.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ols_rejects_degenerate_inputs() {
+        assert!(ols(&[(1.0, 2.0)]).is_none());
+        assert!(ols(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn log_histogram_bins_and_zeros() {
+        let mut h = LogHistogram::new(0.0, 3.0, 3); // [1,10), [10,100), [100,1000)
+        for v in [0.0, 5.0, 50.0, 500.0, 5000.0, -1.0] {
+            h.add(v);
+        }
+        assert_eq!(h.zeros, 2);
+        assert_eq!(h.counts, vec![1, 1, 2]); // 5000 clamps into last bin
+        assert_eq!(h.total(), 6);
+        assert!((h.bin_center(0) - 10f64.powf(0.5)).abs() < 1e-9);
+    }
+}

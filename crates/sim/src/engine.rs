@@ -1,0 +1,490 @@
+//! The replay engine: executes a [`ReplayPlan`] on a simulated cluster.
+//!
+//! Execution model (the paper's own abstraction level): a job is a bag of
+//! map tasks followed by a bag of reduce tasks; each task occupies one
+//! slot for `task_time / task_count` seconds. Reduces launch only after
+//! every map of the job finished (no slow-start). Inputs are read through
+//! the storage layer (exercising the cache tier), outputs written back.
+//!
+//! Very large jobs are *wave-batched*: a job with hundreds of thousands of
+//! tasks is simulated as at most `max_tasks_per_job` slot-grants whose
+//! durations preserve total slot-seconds — keeping the event count
+//! tractable while leaving utilization and latency signals intact.
+
+use crate::cluster::{ClusterConfig, SlotPool};
+use crate::event::{Event, EventQueue};
+use crate::hdfs::{Hdfs, HdfsConfig};
+use crate::metrics::{JobOutcome, UtilizationTracker};
+use crate::scheduler::{Scheduler, SchedulerKind};
+use crate::cache::{CachePolicy, CacheStats};
+use serde::{Deserialize, Serialize};
+use swim_synth::ReplayPlan;
+#[cfg(test)]
+use swim_synth::ReplayJob;
+use swim_trace::{DataSize, Dur, PathId, Timestamp};
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Cluster shape.
+    pub cluster: ClusterConfig,
+    /// Scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Storage configuration.
+    pub hdfs: HdfsConfig,
+    /// Optional cache tier: policy and capacity.
+    pub cache: Option<(CachePolicy, DataSize)>,
+    /// Wave-batching cap on simulated tasks per job (see module docs).
+    pub max_tasks_per_job: u32,
+}
+
+impl SimConfig {
+    /// Defaults: FIFO, no cache, 1000-task batching cap.
+    pub fn new(nodes: u32) -> Self {
+        SimConfig {
+            cluster: ClusterConfig::with_nodes(nodes),
+            scheduler: SchedulerKind::Fifo,
+            hdfs: HdfsConfig::default(),
+            cache: None,
+            max_tasks_per_job: 1_000,
+        }
+    }
+
+    /// Use the fair scheduler.
+    pub fn fair(mut self) -> Self {
+        self.scheduler = SchedulerKind::Fair;
+        self
+    }
+
+    /// Attach a cache tier.
+    pub fn with_cache(mut self, policy: CachePolicy, capacity: DataSize) -> Self {
+        self.cache = Some((policy, capacity));
+        self
+    }
+}
+
+/// Results of one replay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Per-job outcomes, in plan order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Average active slots per hour (Fig. 7 column 4).
+    pub hourly_utilization: Vec<f64>,
+    /// Cache statistics, when a cache tier was configured.
+    pub cache: Option<CacheStats>,
+    /// Completion time of the last job.
+    pub makespan: Timestamp,
+}
+
+impl SimResult {
+    /// Mean queueing delay over all jobs, in seconds.
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(|o| o.queue_delay().as_f64())
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Median job latency in seconds.
+    pub fn median_latency(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let mut lat: Vec<f64> =
+            self.outcomes.iter().map(|o| o.latency().as_f64()).collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        lat[lat.len() / 2]
+    }
+
+    /// The given percentile of job latency, in seconds.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let mut lat: Vec<f64> =
+            self.outcomes.iter().map(|o| o.latency().as_f64()).collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let rank = ((p.clamp(0.0, 1.0)) * lat.len() as f64).ceil() as usize;
+        lat[rank.clamp(1, lat.len()) - 1]
+    }
+}
+
+/// Per-job runtime state.
+#[derive(Debug, Clone)]
+struct JobState {
+    submit: Timestamp,
+    first_start: Option<Timestamp>,
+    pending_map: u32,
+    running_map: u32,
+    pending_reduce: u32,
+    running_reduce: u32,
+    map_task_dur: Dur,
+    reduce_task_dur: Dur,
+    input_path: PathId,
+    output_path: PathId,
+    input: DataSize,
+    output: DataSize,
+    done: bool,
+}
+
+/// The discrete-event replay simulator.
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Build a simulator.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// Execute `plan` to completion and return the collected metrics.
+    ///
+    /// `input_paths` optionally maps plan jobs to shared input files (the
+    /// pre-population plan); when absent each job reads a private file,
+    /// which makes every cache access a cold miss — the correct null model
+    /// for a plan without path information.
+    pub fn run(&self, plan: &ReplayPlan, input_paths: Option<&[PathId]>) -> SimResult {
+        let mut hdfs = Hdfs::new(self.config.hdfs);
+        if let Some((policy, capacity)) = self.config.cache {
+            hdfs = hdfs.with_cache(policy, capacity);
+        }
+        let mut slots = SlotPool::new(self.config.cluster);
+        let mut scheduler = Scheduler::new(self.config.scheduler);
+        let mut queue = EventQueue::new();
+        let mut util = UtilizationTracker::new();
+
+        // Materialize per-job state.
+        let mut jobs: Vec<JobState> = Vec::with_capacity(plan.len());
+        let mut t = Timestamp::ZERO;
+        for (i, rj) in plan.jobs.iter().enumerate() {
+            t += rj.gap;
+            let (map_n, map_dur) =
+                batch_tasks(rj.map_tasks, rj.map_task_time, self.config.max_tasks_per_job);
+            let (red_n, red_dur) = batch_tasks(
+                rj.reduce_tasks,
+                rj.reduce_task_time,
+                self.config.max_tasks_per_job,
+            );
+            let input_path = input_paths
+                .and_then(|p| p.get(i).copied())
+                .unwrap_or(PathId(1_000_000_000 + i as u64));
+            jobs.push(JobState {
+                submit: t,
+                first_start: None,
+                pending_map: map_n,
+                running_map: 0,
+                pending_reduce: red_n,
+                running_reduce: 0,
+                map_task_dur: map_dur,
+                reduce_task_dur: red_dur,
+                input_path,
+                output_path: PathId(2_000_000_000 + i as u64),
+                input: rj.input,
+                output: rj.output,
+                done: false,
+            });
+            queue.push(t, Event::JobSubmit { job: i });
+        }
+
+        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(plan.len());
+        let mut now = Timestamp::ZERO;
+
+        while let Some((at, event)) = queue.pop() {
+            now = at;
+            match event {
+                Event::JobSubmit { job } => {
+                    let js = &jobs[job];
+                    hdfs.read(js.input_path, js.input, now);
+                    scheduler.add(job);
+                }
+                Event::TaskFinish { job, is_map } => {
+                    if is_map {
+                        jobs[job].running_map -= 1;
+                        slots.release_map();
+                    } else {
+                        jobs[job].running_reduce -= 1;
+                        slots.release_reduce();
+                    }
+                    maybe_finish(
+                        job, &mut jobs, &mut scheduler, &mut hdfs, &mut outcomes, now,
+                    );
+                }
+            }
+            dispatch(
+                &self.config,
+                &mut jobs,
+                &mut scheduler,
+                &mut slots,
+                &mut queue,
+                &mut hdfs,
+                &mut outcomes,
+                now,
+            );
+            util.record(now, slots.busy_total());
+        }
+
+        outcomes.sort_by_key(|o| o.job);
+        SimResult {
+            hourly_utilization: util.hourly_average_slots(),
+            cache: hdfs.cache_stats(),
+            makespan: now,
+            outcomes,
+        }
+    }
+}
+
+/// Wave-batching: represent `tasks` tasks totalling `total_time`
+/// slot-seconds as at most `cap` simulated grants preserving slot-seconds.
+fn batch_tasks(tasks: u32, total_time: Dur, cap: u32) -> (u32, Dur) {
+    if tasks == 0 {
+        return (0, Dur::ZERO);
+    }
+    let effective = tasks.min(cap).max(1);
+    let per_task = (total_time.as_f64() / effective as f64).ceil().max(1.0);
+    (effective, Dur::from_f64(per_task))
+}
+
+/// Launch tasks onto free slots per the scheduling policy.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    config: &SimConfig,
+    jobs: &mut [JobState],
+    scheduler: &mut Scheduler,
+    slots: &mut SlotPool,
+    queue: &mut EventQueue,
+    hdfs: &mut Hdfs,
+    outcomes: &mut Vec<JobOutcome>,
+    now: Timestamp,
+) {
+    loop {
+        let mut granted_any = false;
+        let candidates: Vec<usize> = scheduler.candidates().collect();
+        for job in candidates {
+            let per_round = match config.scheduler {
+                SchedulerKind::Fifo => u32::MAX,
+                SchedulerKind::Fair => 1,
+            };
+            let js = &mut jobs[job];
+            // Map tasks first.
+            if js.pending_map > 0 {
+                let want = js.pending_map.min(per_round);
+                let got = slots.take_map(want);
+                if got > 0 {
+                    js.pending_map -= got;
+                    js.running_map += got;
+                    js.first_start.get_or_insert(now);
+                    for _ in 0..got {
+                        queue.push(now + js.map_task_dur, Event::TaskFinish { job, is_map: true });
+                    }
+                    granted_any = true;
+                }
+            } else if js.running_map == 0 && js.pending_reduce > 0 {
+                // Reduces only after all maps complete.
+                let want = js.pending_reduce.min(per_round);
+                let got = slots.take_reduce(want);
+                if got > 0 {
+                    js.pending_reduce -= got;
+                    js.running_reduce += got;
+                    js.first_start.get_or_insert(now);
+                    for _ in 0..got {
+                        queue.push(
+                            now + js.reduce_task_dur,
+                            Event::TaskFinish { job, is_map: false },
+                        );
+                    }
+                    granted_any = true;
+                }
+            } else if js.pending_map == 0
+                && js.running_map == 0
+                && js.pending_reduce == 0
+                && js.running_reduce == 0
+                && !js.done
+            {
+                // Zero-task oddity (empty replay job): finish immediately.
+                maybe_finish(job, jobs, scheduler, hdfs, outcomes, now);
+            }
+        }
+        scheduler.rotate();
+        if !granted_any || config.scheduler == SchedulerKind::Fifo {
+            break;
+        }
+    }
+}
+
+/// Complete a job when its last task has drained.
+fn maybe_finish(
+    job: usize,
+    jobs: &mut [JobState],
+    scheduler: &mut Scheduler,
+    hdfs: &mut Hdfs,
+    outcomes: &mut Vec<JobOutcome>,
+    now: Timestamp,
+) {
+    let js = &mut jobs[job];
+    if js.done
+        || js.pending_map > 0
+        || js.running_map > 0
+        || js.pending_reduce > 0
+        || js.running_reduce > 0
+    {
+        return;
+    }
+    js.done = true;
+    hdfs.write(js.output_path, js.output, now);
+    scheduler.remove(job);
+    outcomes.push(JobOutcome {
+        job,
+        submit: js.submit,
+        first_start: js.first_start.unwrap_or(now),
+        finish: now,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replay_job(gap: u64, maps: u32, map_secs: u64, reds: u32, red_secs: u64) -> ReplayJob {
+        ReplayJob {
+            gap: Dur::from_secs(gap),
+            input: DataSize::from_mb(64),
+            shuffle: if reds > 0 { DataSize::from_mb(8) } else { DataSize::ZERO },
+            output: DataSize::from_mb(8),
+            map_task_time: Dur::from_secs(map_secs),
+            reduce_task_time: Dur::from_secs(red_secs),
+            map_tasks: maps,
+            reduce_tasks: reds,
+        }
+    }
+
+    fn plan(jobs: Vec<ReplayJob>) -> ReplayPlan {
+        ReplayPlan { name: "test".into(), machines: 2, jobs }
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        // 2 maps × 10 s each (20 slot-seconds), then 1 reduce × 5 s.
+        let p = plan(vec![replay_job(0, 2, 20, 1, 5)]);
+        let r = Simulator::new(SimConfig::new(2)).run(&p, None);
+        assert_eq!(r.outcomes.len(), 1);
+        let o = r.outcomes[0];
+        assert_eq!(o.queue_delay(), Dur::ZERO);
+        // 4 map slots available → both maps run in parallel (10 s), then
+        // the reduce (5 s): latency 15 s.
+        assert_eq!(o.latency(), Dur::from_secs(15));
+        assert_eq!(r.makespan, Timestamp::from_secs(15));
+    }
+
+    #[test]
+    fn slot_contention_serializes_tasks() {
+        // 1 node → 2 map slots. 4 maps × 10 s: two waves → 20 s.
+        let p = plan(vec![replay_job(0, 4, 40, 0, 0)]);
+        let r = Simulator::new(SimConfig::new(1)).run(&p, None);
+        assert_eq!(r.outcomes[0].latency(), Dur::from_secs(20));
+    }
+
+    #[test]
+    fn fifo_head_of_line_blocks_small_job() {
+        // Big job grabs both map slots for 100 s; small job submitted 1 s
+        // later waits for a free slot.
+        let p = plan(vec![replay_job(0, 2, 200, 0, 0), replay_job(1, 1, 1, 0, 0)]);
+        let r = Simulator::new(SimConfig::new(1)).run(&p, None);
+        let small = r.outcomes[1];
+        assert!(
+            small.queue_delay() >= Dur::from_secs(90),
+            "queue delay {}",
+            small.queue_delay()
+        );
+    }
+
+    #[test]
+    fn fair_scheduler_reduces_small_job_delay() {
+        // Same contention, but the big job has many one-wave tasks; under
+        // fair scheduling the small job gets a slot at the next wave
+        // boundary instead of after the whole big job.
+        let big = replay_job(0, 20, 400, 0, 0); // 20 tasks × 20 s
+        let small = replay_job(1, 1, 1, 0, 0);
+        let p = plan(vec![big, small]);
+        let fifo = Simulator::new(SimConfig::new(1)).run(&p, None);
+        let fair = Simulator::new(SimConfig::new(1).fair()).run(&p, None);
+        assert!(
+            fair.outcomes[1].latency() < fifo.outcomes[1].latency(),
+            "fair {} vs fifo {}",
+            fair.outcomes[1].latency(),
+            fifo.outcomes[1].latency()
+        );
+    }
+
+    #[test]
+    fn reduces_wait_for_all_maps() {
+        // 2 maps × 10 s on 4 slots (1 wave), 2 reduces × 10 s.
+        let p = plan(vec![replay_job(0, 2, 20, 2, 20)]);
+        let r = Simulator::new(SimConfig::new(2)).run(&p, None);
+        // Maps finish at 10, reduces at 20.
+        assert_eq!(r.outcomes[0].latency(), Dur::from_secs(20));
+    }
+
+    #[test]
+    fn utilization_reflects_busy_slots() {
+        let p = plan(vec![replay_job(0, 2, 7200, 0, 0)]); // 2 maps × 1 hr
+        let r = Simulator::new(SimConfig::new(1)).run(&p, None);
+        assert!(!r.hourly_utilization.is_empty());
+        // Both slots busy through the first hour.
+        assert!((r.hourly_utilization[0] - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn cache_hits_on_shared_input() {
+        let p = plan(vec![replay_job(0, 1, 1, 0, 0), replay_job(5, 1, 1, 0, 0)]);
+        let shared = [PathId(7), PathId(7)];
+        let sim = Simulator::new(
+            SimConfig::new(2).with_cache(CachePolicy::Lru, DataSize::from_gb(1)),
+        );
+        let r = sim.run(&p, Some(&shared));
+        let stats = r.cache.unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn private_inputs_never_hit() {
+        let p = plan(vec![replay_job(0, 1, 1, 0, 0), replay_job(5, 1, 1, 0, 0)]);
+        let sim = Simulator::new(
+            SimConfig::new(2).with_cache(CachePolicy::Lru, DataSize::from_gb(1)),
+        );
+        let r = sim.run(&p, None);
+        assert_eq!(r.cache.unwrap().hits, 0);
+    }
+
+    #[test]
+    fn batching_caps_event_count_preserving_slot_seconds() {
+        let (n, d) = batch_tasks(1_000_000, Dur::from_secs(2_000_000), 1_000);
+        assert_eq!(n, 1_000);
+        assert_eq!(d, Dur::from_secs(2_000)); // 1000 × 2000 = 2 M slot-secs
+        let (n0, d0) = batch_tasks(0, Dur::from_secs(10), 1_000);
+        assert_eq!((n0, d0), (0, Dur::ZERO));
+    }
+
+    #[test]
+    fn empty_plan_yields_empty_result() {
+        let p = plan(vec![]);
+        let r = Simulator::new(SimConfig::new(1)).run(&p, None);
+        assert!(r.outcomes.is_empty());
+        assert_eq!(r.makespan, Timestamp::ZERO);
+    }
+
+    #[test]
+    fn metrics_summaries() {
+        let p = plan(vec![replay_job(0, 1, 10, 0, 0), replay_job(0, 1, 10, 0, 0)]);
+        let r = Simulator::new(SimConfig::new(2)).run(&p, None);
+        assert!(r.median_latency() >= 10.0);
+        assert!(r.latency_percentile(1.0) >= r.latency_percentile(0.5));
+        assert!(r.mean_queue_delay() >= 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # swim-sim
+//!
+//! A discrete-event MapReduce cluster simulator: the execution substrate
+//! the paper's replay experiments ran on a real Hadoop deployment. With
+//! no Hadoop ecosystem available, this simulator provides the same
+//! observable signals at laptop scale:
+//!
+//! * a cluster of nodes exposing map and reduce **slots** ([`cluster`]);
+//! * pluggable job **schedulers** — FIFO and Hadoop-fair-scheduler-style
+//!   ([`scheduler`]);
+//! * an HDFS-like **storage layer** with pluggable cache tiers — LRU,
+//!   LFU, the paper's §4.2 size-threshold policy, and an unbounded
+//!   reference tier ([`hdfs`], [`cache`]);
+//! * a replay **engine** that executes a `swim-synth` [`swim_synth::ReplayPlan`]
+//!   and reports per-hour slot utilization (Fig. 7 column 4), per-job
+//!   latencies, queueing delays, and cache hit rates ([`engine`],
+//!   [`metrics`]).
+//!
+//! The task model is deliberately the paper's own abstraction: a job is
+//! its task-time vector; each task occupies one slot for
+//! `task_time / task_count` seconds. This keeps the simulator faithful to
+//! what the traces can actually parameterize.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod cluster;
+pub mod engine;
+pub mod event;
+pub mod hdfs;
+pub mod metrics;
+pub mod scheduler;
+
+pub use cache::{CachePolicy, CacheStats};
+pub use cluster::ClusterConfig;
+pub use engine::{SimConfig, SimResult, Simulator};
+pub use scheduler::SchedulerKind;

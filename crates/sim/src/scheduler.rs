@@ -1,0 +1,135 @@
+//! Job schedulers: FIFO (Hadoop's default JobTracker order) and a
+//! fair-scheduler approximation (round-robin over runnable jobs), the two
+//! policies whose trade-off the paper's small-vs-large job dichotomy
+//! (§6.2) makes interesting: under FIFO a single large job head-of-line
+//! blocks the many small interactive jobs.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which scheduling policy the engine uses to pick the next job to serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Serve runnable jobs strictly in submission order.
+    Fifo,
+    /// Round-robin one task grant at a time over runnable jobs
+    /// (approximates the Hadoop fair scheduler's slot sharing).
+    Fair,
+}
+
+/// Tracks the set of runnable jobs and yields the next candidate to grant
+/// a slot to, per policy.
+#[derive(Debug)]
+pub struct Scheduler {
+    kind: SchedulerKind,
+    /// Runnable job indices, in submission order for FIFO; rotated for Fair.
+    runnable: VecDeque<usize>,
+}
+
+impl Scheduler {
+    /// Empty scheduler of the given kind.
+    pub fn new(kind: SchedulerKind) -> Self {
+        Scheduler { kind, runnable: VecDeque::new() }
+    }
+
+    /// The policy.
+    pub fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    /// Add a job to the runnable set (on submission).
+    pub fn add(&mut self, job: usize) {
+        self.runnable.push_back(job);
+    }
+
+    /// Remove a job (when it has no more tasks to launch).
+    pub fn remove(&mut self, job: usize) {
+        if let Some(pos) = self.runnable.iter().position(|&j| j == job) {
+            self.runnable.remove(pos);
+        }
+    }
+
+    /// Number of runnable jobs.
+    pub fn len(&self) -> usize {
+        self.runnable.len()
+    }
+
+    /// `true` iff no jobs are runnable.
+    pub fn is_empty(&self) -> bool {
+        self.runnable.is_empty()
+    }
+
+    /// Iterate over candidates in grant order. For FIFO this walks the
+    /// queue front-to-back repeatedly giving the head priority; for Fair
+    /// the walk starts at the head and the head is rotated to the back
+    /// after each full dispatch round (`rotate` is called by the engine).
+    pub fn candidates(&self) -> impl Iterator<Item = usize> + '_ {
+        self.runnable.iter().copied()
+    }
+
+    /// Fair-share rotation: move the head to the back so the next grant
+    /// round favours a different job. No-op under FIFO.
+    pub fn rotate(&mut self) {
+        if self.kind == SchedulerKind::Fair {
+            if let Some(head) = self.runnable.pop_front() {
+                self.runnable.push_back(head);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_submission_order() {
+        let mut s = Scheduler::new(SchedulerKind::Fifo);
+        s.add(0);
+        s.add(1);
+        s.add(2);
+        s.rotate(); // no-op for FIFO
+        let order: Vec<usize> = s.candidates().collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fair_rotation_cycles_head() {
+        let mut s = Scheduler::new(SchedulerKind::Fair);
+        s.add(0);
+        s.add(1);
+        s.add(2);
+        s.rotate();
+        assert_eq!(s.candidates().next(), Some(1));
+        s.rotate();
+        assert_eq!(s.candidates().next(), Some(2));
+        s.rotate();
+        assert_eq!(s.candidates().next(), Some(0));
+    }
+
+    #[test]
+    fn remove_unknown_job_is_noop() {
+        let mut s = Scheduler::new(SchedulerKind::Fifo);
+        s.add(3);
+        s.remove(99);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn remove_preserves_order_of_rest() {
+        let mut s = Scheduler::new(SchedulerKind::Fifo);
+        for i in 0..4 {
+            s.add(i);
+        }
+        s.remove(1);
+        let order: Vec<usize> = s.candidates().collect();
+        assert_eq!(order, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn empty_scheduler_reports_empty() {
+        let s = Scheduler::new(SchedulerKind::Fair);
+        assert!(s.is_empty());
+        assert_eq!(s.candidates().count(), 0);
+    }
+}

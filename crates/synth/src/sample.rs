@@ -1,0 +1,191 @@
+//! Window sampling: condense a long trace into a short synthetic one.
+//!
+//! Following the workload-suite methodology the paper builds on (its
+//! ref. \[18\]), the trace is divided into contiguous time windows; the
+//! synthesizer draws windows uniformly at random (with replacement) and
+//! concatenates them until the target duration is covered. Each copied
+//! job keeps its offset within its window, so both the job mix *and* the
+//! sub-window arrival dynamics (bursts) survive sampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swim_trace::trace::WorkloadKind;
+use swim_trace::{Dur, Job, JobId, Timestamp, Trace};
+
+/// Window-sampling parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleConfig {
+    /// Width of each sampling window.
+    pub window: Dur,
+    /// Target length of the synthesized trace.
+    pub target_length: Dur,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SampleConfig {
+    /// SWIM's common setup: hour-long windows, one synthesized day.
+    pub fn one_day_from_hours(seed: u64) -> SampleConfig {
+        SampleConfig {
+            window: Dur::from_hours(1),
+            target_length: Dur::from_days(1),
+            seed,
+        }
+    }
+}
+
+/// Sample a shorter synthetic trace out of `trace`.
+///
+/// Panics if the trace is empty or the window is zero-length. If the
+/// trace is shorter than one window it is returned unchanged (relabelled).
+pub fn sample_windows(trace: &Trace, config: SampleConfig) -> Trace {
+    assert!(!trace.is_empty(), "cannot sample an empty trace");
+    assert!(!config.window.is_zero(), "window must be positive");
+    assert!(!config.target_length.is_zero(), "target length must be positive");
+
+    let start = trace.start().expect("non-empty");
+    let span = trace.span();
+    let n_windows = (span.secs() / config.window.secs()).max(1);
+    let n_draws = config.target_length.secs().div_ceil(config.window.secs());
+
+    // Pre-bucket job indices per window for O(jobs + draws) sampling.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n_windows as usize];
+    for (i, job) in trace.jobs().iter().enumerate() {
+        let w = (job.submit.since(start).secs() / config.window.secs()).min(n_windows - 1);
+        buckets[w as usize].push(i);
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut next_id = 0u64;
+    for draw in 0..n_draws {
+        let w = rng.random_range(0..n_windows) as usize;
+        let window_start =
+            Timestamp::from_secs(start.secs() + w as u64 * config.window.secs());
+        let out_base = draw * config.window.secs();
+        for &idx in &buckets[w] {
+            let job = &trace.jobs()[idx];
+            let offset = job.submit.since(window_start);
+            let mut copy = job.clone();
+            copy.id = JobId(next_id);
+            next_id += 1;
+            copy.submit = Timestamp::from_secs(out_base + offset.secs());
+            jobs.push(copy);
+        }
+    }
+    Trace::new_unchecked(
+        WorkloadKind::Custom(format!("{}-synth", trace.kind)),
+        trace.machines,
+        jobs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swim_trace::{DataSize, JobBuilder};
+
+    fn hourly_trace(hours: u64, jobs_per_hour: u64) -> Trace {
+        let mut jobs = Vec::new();
+        let mut id = 0;
+        for h in 0..hours {
+            for j in 0..jobs_per_hour {
+                jobs.push(
+                    JobBuilder::new(id)
+                        .submit(Timestamp::from_secs(h * 3600 + j * 60))
+                        .duration(Dur::from_secs(30))
+                        .input(DataSize::from_mb(h + 1)) // window-identifying size
+                        .map_task_time(Dur::from_secs(10))
+                        .tasks(1, 0)
+                        .build()
+                        .unwrap(),
+                );
+                id += 1;
+            }
+        }
+        Trace::new(WorkloadKind::Custom("src".into()), 10, jobs).unwrap()
+    }
+
+    #[test]
+    fn sampled_trace_has_target_length() {
+        let src = hourly_trace(24 * 7, 10);
+        let out = sample_windows(
+            &src,
+            SampleConfig {
+                window: Dur::from_hours(1),
+                target_length: Dur::from_hours(24),
+                seed: 1,
+            },
+        );
+        // ~24 windows × 10 jobs.
+        assert_eq!(out.len(), 240);
+        assert!(out.span() <= Dur::from_hours(24));
+    }
+
+    #[test]
+    fn sampled_jobs_preserve_window_offsets() {
+        let src = hourly_trace(48, 5);
+        let out = sample_windows(
+            &src,
+            SampleConfig {
+                window: Dur::from_hours(1),
+                target_length: Dur::from_hours(6),
+                seed: 2,
+            },
+        );
+        // Within each output hour, offsets are multiples of 60 s (< 3600).
+        for job in out.jobs() {
+            assert_eq!(job.submit.secs() % 3600 % 60, 0);
+        }
+    }
+
+    #[test]
+    fn sampled_sizes_come_from_source_distribution() {
+        let src = hourly_trace(24, 3);
+        let out = sample_windows(&src, SampleConfig::one_day_from_hours(3));
+        let src_sizes: std::collections::HashSet<u64> =
+            src.jobs().iter().map(|j| j.input.bytes()).collect();
+        for job in out.jobs() {
+            assert!(src_sizes.contains(&job.input.bytes()));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let src = hourly_trace(24 * 3, 4);
+        let a = sample_windows(&src, SampleConfig::one_day_from_hours(9));
+        let b = sample_windows(&src, SampleConfig::one_day_from_hours(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let src = hourly_trace(24, 10);
+        let out = sample_windows(&src, SampleConfig::one_day_from_hours(5));
+        let mut ids: Vec<u64> = out.jobs().iter().map(|j| j.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), out.len());
+    }
+
+    #[test]
+    fn short_trace_still_samples() {
+        let src = hourly_trace(1, 5); // spans < 1 window
+        let out = sample_windows(
+            &src,
+            SampleConfig {
+                window: Dur::from_hours(2),
+                target_length: Dur::from_hours(2),
+                seed: 0,
+            },
+        );
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample an empty trace")]
+    fn empty_trace_rejected() {
+        let t = Trace::new(WorkloadKind::Custom("e".into()), 1, vec![]).unwrap();
+        sample_windows(&t, SampleConfig::one_day_from_hours(0));
+    }
+}

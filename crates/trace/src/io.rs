@@ -1,0 +1,290 @@
+//! Trace codecs: a simple CSV dialect and JSON-lines, both round-trip safe.
+//!
+//! The CSV dialect mirrors the per-job Hadoop history summaries the paper
+//! ingests. Paths are encoded as `;`-separated raw ids (the original traces
+//! ship hashed paths, so no escaping concerns arise; external string paths
+//! should be interned via [`crate::PathInterner`] first).
+
+use crate::job::{Job, JobBuilder};
+use crate::path::PathId;
+use crate::size::DataSize;
+use crate::time::{Dur, Timestamp};
+use crate::trace::{Trace, WorkloadKind};
+use crate::TraceError;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// CSV header line for the per-job schema.
+pub const CSV_HEADER: &str = "job_id,name,submit_secs,duration_secs,input_bytes,\
+shuffle_bytes,output_bytes,map_task_secs,reduce_task_secs,map_tasks,reduce_tasks,\
+input_paths,output_paths";
+
+/// Write a trace as CSV (header + one line per job).
+pub fn write_csv<W: Write>(trace: &Trace, writer: W) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{CSV_HEADER}")?;
+    for job in trace.jobs() {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            job.id.0,
+            escape_name(&job.name),
+            job.submit.secs(),
+            job.duration.secs(),
+            job.input.bytes(),
+            job.shuffle.bytes(),
+            job.output.bytes(),
+            job.map_task_time.secs(),
+            job.reduce_task_time.secs(),
+            job.map_tasks,
+            job.reduce_tasks,
+            encode_paths(&job.input_paths),
+            encode_paths(&job.output_paths),
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a trace from CSV produced by [`write_csv`].
+pub fn read_csv<R: Read>(
+    kind: WorkloadKind,
+    machines: u32,
+    reader: R,
+) -> Result<Trace, TraceError> {
+    let r = BufReader::new(reader);
+    let mut jobs = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 {
+            if line != CSV_HEADER {
+                return Err(TraceError::Parse {
+                    line: 1,
+                    reason: "missing or unrecognized CSV header".into(),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        jobs.push(parse_csv_line(&line, lineno + 1)?);
+    }
+    Trace::new(kind, machines, jobs)
+}
+
+fn parse_csv_line(line: &str, lineno: usize) -> Result<Job, TraceError> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 13 {
+        return Err(TraceError::Parse {
+            line: lineno,
+            reason: format!("expected 13 fields, got {}", fields.len()),
+        });
+    }
+    let perr = |what: &str| TraceError::Parse {
+        line: lineno,
+        reason: format!("invalid {what}"),
+    };
+    let num = |s: &str, what: &str| -> Result<u64, TraceError> {
+        s.parse::<u64>().map_err(|_| perr(what))
+    };
+    let job = JobBuilder::new(num(fields[0], "job_id")?)
+        .name(unescape_name(fields[1]))
+        .submit(Timestamp::from_secs(num(fields[2], "submit_secs")?))
+        .duration(Dur::from_secs(num(fields[3], "duration_secs")?))
+        .input(DataSize::from_bytes(num(fields[4], "input_bytes")?))
+        .shuffle(DataSize::from_bytes(num(fields[5], "shuffle_bytes")?))
+        .output(DataSize::from_bytes(num(fields[6], "output_bytes")?))
+        .map_task_time(Dur::from_secs(num(fields[7], "map_task_secs")?))
+        .reduce_task_time(Dur::from_secs(num(fields[8], "reduce_task_secs")?))
+        .tasks(
+            num(fields[9], "map_tasks")? as u32,
+            num(fields[10], "reduce_tasks")? as u32,
+        )
+        .input_paths(decode_paths(fields[11], lineno)?)
+        .output_paths(decode_paths(fields[12], lineno)?)
+        .build_unchecked();
+    Ok(job)
+}
+
+/// Commas and newlines inside names would corrupt rows; replace them with
+/// spaces (names are analysis keys via first-word only, so this is lossless
+/// for every downstream use).
+fn escape_name(name: &str) -> String {
+    name.replace([',', '\n', '\r'], " ")
+}
+
+fn unescape_name(s: &str) -> String {
+    s.to_owned()
+}
+
+fn encode_paths(paths: &[PathId]) -> String {
+    let mut out = String::new();
+    for (i, p) in paths.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        out.push_str(&p.0.to_string());
+    }
+    out
+}
+
+fn decode_paths(s: &str, lineno: usize) -> Result<Vec<PathId>, TraceError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(';')
+        .map(|tok| {
+            tok.parse::<u64>().map(PathId).map_err(|_| TraceError::Parse {
+                line: lineno,
+                reason: format!("invalid path id {tok:?}"),
+            })
+        })
+        .collect()
+}
+
+/// Write a trace as JSON-lines: one JSON object per job, preceded by a
+/// metadata object (`{"kind": …, "machines": …}`).
+pub fn write_jsonl<W: Write>(trace: &Trace, writer: W) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(writer);
+    let meta = serde_json::json!({
+        "kind": trace.kind,
+        "machines": trace.machines,
+    });
+    serde_json::to_writer(&mut w, &meta)?;
+    writeln!(w)?;
+    for job in trace.jobs() {
+        serde_json::to_writer(&mut w, job)?;
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a trace from JSON-lines produced by [`write_jsonl`].
+pub fn read_jsonl<R: Read>(reader: R) -> Result<Trace, TraceError> {
+    let r = BufReader::new(reader);
+    let mut lines = r.lines();
+    let meta_line = lines
+        .next()
+        .ok_or_else(|| TraceError::Parse { line: 1, reason: "empty stream".into() })??;
+    #[derive(serde::Deserialize)]
+    struct Meta {
+        kind: WorkloadKind,
+        machines: u32,
+    }
+    let meta: Meta = serde_json::from_str(&meta_line)?;
+    let mut jobs = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        jobs.push(serde_json::from_str::<Job>(&line)?);
+    }
+    Trace::new(meta.kind, meta.machines, jobs)
+}
+
+/// Serialize a trace to a CSV string (convenience).
+pub fn to_csv_string(trace: &Trace) -> Result<String, TraceError> {
+    let mut buf = Vec::new();
+    write_csv(trace, &mut buf)?;
+    String::from_utf8(buf).map_err(|e| TraceError::Parse {
+        line: 0,
+        reason: format!("non-utf8 output: {e}"),
+    })
+}
+
+/// Deserialize a trace from a CSV string (convenience).
+pub fn from_csv_string(
+    kind: WorkloadKind,
+    machines: u32,
+    s: &str,
+) -> Result<Trace, TraceError> {
+    read_csv(kind, machines, s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobBuilder;
+
+    fn sample_trace() -> Trace {
+        let jobs = vec![
+            JobBuilder::new(1)
+                .name("insert overwrite, weekly")
+                .submit(Timestamp::from_secs(10))
+                .duration(Dur::from_secs(30))
+                .input(DataSize::from_mb(5))
+                .shuffle(DataSize::from_kb(10))
+                .output(DataSize::from_kb(1))
+                .map_task_time(Dur::from_secs(20))
+                .reduce_task_time(Dur::from_secs(8))
+                .tasks(2, 1)
+                .input_paths(vec![PathId(3), PathId(9)])
+                .output_paths(vec![PathId(12)])
+                .build()
+                .unwrap(),
+            JobBuilder::new(2)
+                .name("piglatin")
+                .submit(Timestamp::from_secs(40))
+                .duration(Dur::from_secs(5))
+                .input(DataSize::from_kb(4))
+                .map_task_time(Dur::from_secs(3))
+                .tasks(1, 0)
+                .build()
+                .unwrap(),
+        ];
+        Trace::new(WorkloadKind::CcB, 300, jobs).unwrap()
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_everything_but_commas() {
+        let t = sample_trace();
+        let csv = to_csv_string(&t).unwrap();
+        let back = from_csv_string(WorkloadKind::CcB, 300, &csv).unwrap();
+        assert_eq!(back.len(), 2);
+        // Comma in the name was replaced by a space; everything else intact.
+        assert_eq!(back.jobs()[0].name, "insert overwrite  weekly");
+        assert_eq!(back.jobs()[0].input_paths, vec![PathId(3), PathId(9)]);
+        assert_eq!(back.jobs()[1], t.jobs()[1]);
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_identity() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let back = read_jsonl(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn csv_rejects_bad_header() {
+        let r = from_csv_string(WorkloadKind::CcA, 1, "nope\n1,2,3\n");
+        assert!(matches!(r, Err(TraceError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn csv_rejects_wrong_field_count() {
+        let csv = format!("{CSV_HEADER}\n1,2,3\n");
+        let r = from_csv_string(WorkloadKind::CcA, 1, &csv);
+        assert!(matches!(r, Err(TraceError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn csv_rejects_bad_path_id() {
+        let csv = format!("{CSV_HEADER}\n1,n,0,1,0,0,0,1,0,1,0,x;y,\n");
+        assert!(from_csv_string(WorkloadKind::CcA, 1, &csv).is_err());
+    }
+
+    #[test]
+    fn jsonl_rejects_empty_stream() {
+        assert!(read_jsonl(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn empty_paths_encode_as_empty_string() {
+        assert_eq!(encode_paths(&[]), "");
+        assert_eq!(decode_paths("", 1).unwrap(), Vec::<PathId>::new());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the distribution and generator machinery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use swim_workloadgen::dist::{Categorical, Empirical, Exponential, LogNormal, Zipf};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn zipf_samples_stay_in_range(n in 1u64..5_000, s in 0.2f64..2.5, seed in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let k = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k), "rank {k} outside 1..={n}");
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive(median in 1e-3f64..1e12, sigma in 0.0f64..3.0, seed in any::<u64>()) {
+        let d = LogNormal::from_median(median, sigma);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            prop_assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_is_positive(lambda in 1e-6f64..1e6, seed in any::<u64>()) {
+        let d = Exponential::new(lambda);
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(d.sample(&mut rng) >= 0.0);
+    }
+
+    #[test]
+    fn categorical_only_returns_positive_weight_indices(
+        weights in prop::collection::vec(0.0f64..100.0, 1..20),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let c = Categorical::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let idx = c.sample(&mut rng);
+            prop_assert!(weights[idx] > 0.0, "sampled zero-weight index {idx}");
+        }
+    }
+
+    #[test]
+    fn empirical_samples_within_data_range(
+        mut data in prop::collection::vec(-1e9f64..1e9, 1..100),
+        seed in any::<u64>(),
+    ) {
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (data[0], *data.last().unwrap());
+        let e = Empirical::from_samples(&data);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..30 {
+            let v = e.sample(&mut rng);
+            prop_assert!(v >= lo - 1e-6 && v <= hi + 1e-6, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn empirical_quantile_is_monotone(
+        data in prop::collection::vec(0.0f64..1e9, 2..60),
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+    ) {
+        let e = Empirical::from_samples(&data);
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        prop_assert!(e.quantile(lo) <= e.quantile(hi) + 1e-9);
+    }
+}
+
+mod generator_props {
+    use super::*;
+    use swim_trace::trace::WorkloadKind;
+    use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Any seed yields a valid, sorted, schema-conformant trace.
+        #[test]
+        fn generated_traces_are_valid(seed in any::<u64>()) {
+            let trace = WorkloadGenerator::new(
+                GeneratorConfig::new(WorkloadKind::CcE).scale(0.1).days(1.0).seed(seed),
+            )
+            .generate();
+            prop_assert!(trace.jobs().windows(2).all(|w| w[0].submit <= w[1].submit));
+            for job in trace.jobs() {
+                prop_assert!(job.validate().is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # swim
+//!
+//! A from-scratch Rust reproduction of *"Interactive Analytical Processing
+//! in Big Data Systems: A Cross-Industry Study of MapReduce Workloads"*
+//! (Chen, Alspaugh & Katz, VLDB 2012) and its companion tool **SWIM**,
+//! the Statistical Workload Injector for MapReduce.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`trace`] — the per-job MapReduce trace data model (§3 schema);
+//! * [`workloadgen`] — calibrated synthetic generators for the seven
+//!   studied workloads (CC-a … CC-e, FB-2009, FB-2010);
+//! * [`core`] — the characterization methodology: data access patterns
+//!   (§4), temporal patterns (§5), computation patterns (§6);
+//! * [`synth`] — the SWIM pipeline: sampling, scale-down, data
+//!   generation, replay plans, and KS validation (§7);
+//! * [`sim`] — a discrete-event MapReduce cluster simulator for replays.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use swim::prelude::*;
+//!
+//! // Generate a small slice of the FB-2009-like workload ...
+//! let trace = WorkloadGenerator::new(
+//!     GeneratorConfig::new(WorkloadKind::Fb2009).scale(0.01).days(2.0).seed(7),
+//! )
+//! .generate();
+//!
+//! // ... characterize it with the paper's full methodology ...
+//! let analysis = WorkloadAnalysis::of(&trace);
+//! assert!(analysis.dominant_job_type_share() > 0.5);
+//!
+//! // ... and synthesize a scaled-down replayable benchmark from it.
+//! let sampled = sample_windows(&trace, SampleConfig::one_day_from_hours(1));
+//! let plan = ReplayPlan::from_trace(&sampled);
+//! let result = Simulator::new(SimConfig::new(20)).run(&plan, None);
+//! assert_eq!(result.outcomes.len(), plan.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use swim_core as core;
+pub use swim_sim as sim;
+pub use swim_synth as synth;
+pub use swim_trace as trace;
+pub use swim_workloadgen as workloadgen;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use swim_core::workload::WorkloadAnalysis;
+    pub use swim_sim::{CachePolicy, SimConfig, Simulator};
+    pub use swim_synth::sample::{sample_windows, SampleConfig};
+    pub use swim_synth::ReplayPlan;
+    pub use swim_trace::trace::WorkloadKind;
+    pub use swim_trace::{DataSize, Dur, Job, JobBuilder, Timestamp, Trace};
+    pub use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
+}
