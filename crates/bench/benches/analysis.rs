@@ -16,7 +16,10 @@ use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
 
 fn sample_trace() -> Trace {
     WorkloadGenerator::new(
-        GeneratorConfig::new(WorkloadKind::CcB).scale(0.3).days(3.0).seed(11),
+        GeneratorConfig::new(WorkloadKind::CcB)
+            .scale(0.3)
+            .days(3.0)
+            .seed(11),
     )
     .generate()
 }
@@ -32,7 +35,11 @@ fn bench_kmeans(c: &mut Criterion) {
                 b.iter(|| {
                     black_box(KMeans::fit(
                         &trace,
-                        KMeansConfig { k: 5, scaling, ..Default::default() },
+                        KMeansConfig {
+                            k: 5,
+                            scaling,
+                            ..Default::default()
+                        },
                     ))
                 });
             },
@@ -40,7 +47,12 @@ fn bench_kmeans(c: &mut Criterion) {
     }
     group.bench_function("elbow_selection", |b| {
         b.iter(|| {
-            black_box(KMeans::fit_with_elbow(&trace, 8, 0.12, KMeansConfig::default()))
+            black_box(KMeans::fit_with_elbow(
+                &trace,
+                8,
+                0.12,
+                KMeansConfig::default(),
+            ))
         });
     });
     group.finish();
@@ -94,5 +106,11 @@ fn bench_ecdf(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kmeans, bench_access, bench_timeseries, bench_ecdf);
+criterion_group!(
+    benches,
+    bench_kmeans,
+    bench_access,
+    bench_timeseries,
+    bench_ecdf
+);
 criterion_main!(benches);

@@ -12,7 +12,10 @@ use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
 
 fn plan_and_paths() -> (ReplayPlan, Vec<PathId>) {
     let trace = WorkloadGenerator::new(
-        GeneratorConfig::new(WorkloadKind::CcE).scale(0.3).days(2.0).seed(21),
+        GeneratorConfig::new(WorkloadKind::CcE)
+            .scale(0.3)
+            .days(2.0)
+            .seed(21),
     )
     .generate();
     let paths: Vec<PathId> = trace
@@ -50,15 +53,16 @@ fn bench_cache_policies(c: &mut Criterion) {
         ("lfu", CachePolicy::Lfu),
         (
             "size_threshold_1gb",
-            CachePolicy::SizeThreshold { threshold: DataSize::from_gb(1) },
+            CachePolicy::SizeThreshold {
+                threshold: DataSize::from_gb(1),
+            },
         ),
         ("unlimited", CachePolicy::Unlimited),
     ];
     for (name, policy) in policies {
         group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
             b.iter(|| {
-                let cfg =
-                    SimConfig::new(100).with_cache(policy, DataSize::from_gb(50));
+                let cfg = SimConfig::new(100).with_cache(policy, DataSize::from_gb(50));
                 let result = Simulator::new(cfg).run(&plan, Some(&paths));
                 black_box(result.cache.map(|s| s.hit_rate()))
             });

@@ -13,7 +13,10 @@ use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
 
 fn source() -> Trace {
     WorkloadGenerator::new(
-        GeneratorConfig::new(WorkloadKind::Fb2009).scale(0.01).days(7.0).seed(31),
+        GeneratorConfig::new(WorkloadKind::Fb2009)
+            .scale(0.01)
+            .days(7.0)
+            .seed(31),
     )
     .generate()
 }

@@ -1,11 +1,14 @@
 //! `swim-analyze`: the SWIM user path — analyze your own per-job trace
-//! (CSV or JSON-lines in the `swim-trace` schema), print the full
-//! characterization, export anonymized aggregate metrics for sharing, and
-//! optionally synthesize a scaled-down replay bundle.
+//! (CSV, JSON-lines, or `swim-store` columnar format in the `swim-trace`
+//! schema), print the full characterization, export anonymized aggregate
+//! metrics for sharing, convert between trace formats, and optionally
+//! synthesize a scaled-down replay bundle.
 //!
 //! ```text
-//! swim-analyze --input trace.jsonl [--csv] [--machines N] [--name LABEL]
-//!              [--export metrics.json] [--synthesize N --bundle out.json]
+//! swim-analyze --input trace.jsonl [--format csv|jsonl|store]
+//!              [--machines N] [--name LABEL] [--export metrics.json]
+//!              [--convert out.swim [--to csv|jsonl|store]]
+//!              [--synthesize N --bundle out.json]
 //! swim-analyze --demo            # run on a generated demo trace
 //! ```
 
@@ -16,12 +19,41 @@ use swim_core::workload::WorkloadAnalysis;
 use swim_trace::trace::WorkloadKind;
 use swim_trace::Trace;
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Csv,
+    Jsonl,
+    Store,
+}
+
+impl Format {
+    fn parse(s: &str) -> Result<Format, String> {
+        match s {
+            "csv" => Ok(Format::Csv),
+            "jsonl" | "json" => Ok(Format::Jsonl),
+            "store" | "swim" => Ok(Format::Store),
+            other => Err(format!("unknown format {other} (expected csv|jsonl|store)")),
+        }
+    }
+
+    /// Guess from a file extension; JSON-lines is the historical default.
+    fn infer(path: &str) -> Format {
+        match path.rsplit('.').next() {
+            Some("csv") => Format::Csv,
+            Some("swim") | Some("store") => Format::Store,
+            _ => Format::Jsonl,
+        }
+    }
+}
+
 struct Args {
     input: Option<String>,
-    csv: bool,
-    machines: u32,
-    name: String,
+    format: Option<Format>,
+    machines: Option<u32>,
+    name: Option<String>,
     export: Option<String>,
+    convert: Option<String>,
+    convert_to: Option<Format>,
     synthesize: Option<u32>,
     bundle: Option<String>,
     demo: bool,
@@ -30,10 +62,12 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         input: None,
-        csv: false,
-        machines: 100,
-        name: "custom".to_owned(),
+        format: None,
+        machines: None,
+        name: None,
         export: None,
+        convert: None,
+        convert_to: None,
         synthesize: None,
         bundle: None,
         demo: false,
@@ -41,18 +75,24 @@ fn parse_args() -> Result<Args, String> {
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         let mut next = |flag: &str| {
-            iter.next().ok_or_else(|| format!("{flag} requires a value"))
+            iter.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
         };
         match arg.as_str() {
             "--input" => args.input = Some(next("--input")?),
-            "--csv" => args.csv = true,
+            "--format" => args.format = Some(Format::parse(&next("--format")?)?),
+            "--csv" => args.format = Some(Format::Csv), // backwards compatible
             "--machines" => {
-                args.machines = next("--machines")?
-                    .parse()
-                    .map_err(|_| "--machines requires an integer".to_owned())?
+                args.machines = Some(
+                    next("--machines")?
+                        .parse()
+                        .map_err(|_| "--machines requires an integer".to_owned())?,
+                )
             }
-            "--name" => args.name = next("--name")?,
+            "--name" => args.name = Some(next("--name")?),
             "--export" => args.export = Some(next("--export")?),
+            "--convert" => args.convert = Some(next("--convert")?),
+            "--to" => args.convert_to = Some(Format::parse(&next("--to")?)?),
             "--synthesize" => {
                 args.synthesize = Some(
                     next("--synthesize")?
@@ -73,18 +113,62 @@ fn load_trace(args: &Args) -> Result<Trace, String> {
     if args.demo {
         use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
         return Ok(WorkloadGenerator::new(
-            GeneratorConfig::new(WorkloadKind::CcB).scale(0.3).days(3.0).seed(1),
+            GeneratorConfig::new(WorkloadKind::CcB)
+                .scale(0.3)
+                .days(3.0)
+                .seed(1),
         )
         .generate());
     }
-    let path = args.input.as_ref().ok_or("--input (or --demo) is required")?;
-    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let kind = WorkloadKind::Custom(args.name.clone());
-    if args.csv {
-        swim_trace::io::read_csv(kind, args.machines, file)
-            .map_err(|e| format!("parse {path}: {e}"))
-    } else {
-        swim_trace::io::read_jsonl(file).map_err(|e| format!("parse {path}: {e}"))
+    let path = args
+        .input
+        .as_ref()
+        .ok_or("--input (or --demo) is required")?;
+    let kind = WorkloadKind::Custom(args.name.clone().unwrap_or_else(|| "custom".to_owned()));
+    let machines = args.machines.unwrap_or(100);
+    match args.format.unwrap_or_else(|| Format::infer(path)) {
+        Format::Csv => {
+            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            swim_trace::io::read_csv(kind, machines, file).map_err(|e| format!("parse {path}: {e}"))
+        }
+        Format::Jsonl => {
+            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            swim_trace::io::read_jsonl(file).map_err(|e| format!("parse {path}: {e}"))
+        }
+        Format::Store => {
+            // The store carries its own kind/machines metadata.
+            if args.machines.is_some() || args.name.is_some() {
+                eprintln!(
+                    "note: --machines/--name are ignored for store input; the \
+                     store file records its own workload kind and machine count"
+                );
+            }
+            let store = swim_store::Store::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            store.read_trace().map_err(|e| format!("parse {path}: {e}"))
+        }
+    }
+}
+
+fn write_converted(trace: &Trace, path: &str, format: Format) -> Result<(), String> {
+    match format {
+        Format::Csv => {
+            let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            swim_trace::io::write_csv(trace, file).map_err(|e| format!("write {path}: {e}"))
+        }
+        Format::Jsonl => {
+            let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            swim_trace::io::write_jsonl(trace, file).map_err(|e| format!("write {path}: {e}"))
+        }
+        Format::Store => {
+            let stats =
+                swim_store::write_store_path(trace, path, &swim_store::StoreOptions::default())
+                    .map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!(
+                "wrote {} jobs in {} chunks ({} bytes)",
+                stats.jobs, stats.chunks, stats.bytes_written
+            );
+            Ok(())
+        }
     }
 }
 
@@ -96,8 +180,9 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!(
-                "usage: swim-analyze --input trace.jsonl [--csv] [--machines N] \
-                 [--name LABEL] [--export metrics.json] \
+                "usage: swim-analyze --input trace.{{csv,jsonl,swim}} \
+                 [--format csv|jsonl|store] [--machines N] [--name LABEL] \
+                 [--export metrics.json] [--convert OUT [--to csv|jsonl|store]] \
                  [--synthesize NODES --bundle out.json] | --demo"
             );
             return ExitCode::FAILURE;
@@ -113,6 +198,20 @@ fn main() -> ExitCode {
     if trace.is_empty() {
         eprintln!("error: trace contains no jobs");
         return ExitCode::FAILURE;
+    }
+
+    if let Some(out) = &args.convert {
+        let to = args.convert_to.unwrap_or_else(|| Format::infer(out));
+        if let Err(e) = write_converted(&trace, out, to) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("converted {} jobs to {out}", trace.len());
+        // Pure format migration: don't burn minutes on an unrequested
+        // characterization of a potentially million-job trace.
+        if args.export.is_none() && args.synthesize.is_none() {
+            return ExitCode::SUCCESS;
+        }
     }
 
     eprintln!("analyzing {} jobs ...", trace.len());

@@ -26,18 +26,11 @@ pub fn median_span_orders(medians: &[f64]) -> f64 {
 
 /// Regenerate the Figure 1 series.
 pub fn run(corpus: &Corpus) -> String {
-    let mut out = String::from(
-        "Figure 1: Per-job input, shuffle, and output size distributions\n\n",
-    );
+    let mut out =
+        String::from("Figure 1: Per-job input, shuffle, and output size distributions\n\n");
     let mut medians = (Vec::new(), Vec::new(), Vec::new());
-    for (stage, pick) in [
-        ("input", 0usize),
-        ("shuffle", 1),
-        ("output", 2),
-    ] {
-        let mut table = Table::new(vec![
-            "Workload", "p10", "p25", "p50", "p75", "p90",
-        ]);
+    for (stage, pick) in [("input", 0usize), ("shuffle", 1), ("output", 2)] {
+        let mut table = Table::new(vec!["Workload", "p10", "p25", "p50", "p75", "p90"]);
         for trace in &corpus.traces {
             let samples: Vec<f64> = trace
                 .jobs()
@@ -89,9 +82,7 @@ mod tests {
         let input_medians: Vec<f64> = corpus
             .traces
             .iter()
-            .map(|t| {
-                Ecdf::new(t.jobs().iter().map(|j| j.input.as_f64()).collect()).median()
-            })
+            .map(|t| Ecdf::new(t.jobs().iter().map(|j| j.input.as_f64()).collect()).median())
             .collect();
         let span = median_span_orders(&input_medians);
         assert!(span >= 3.0, "input median span only 10^{span:.1}");

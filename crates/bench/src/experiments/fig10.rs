@@ -15,9 +15,8 @@ pub const TOP_N: usize = 5;
 
 /// Regenerate the Figure 10 report.
 pub fn run(corpus: &Corpus) -> String {
-    let mut out = String::from(
-        "Figure 10: First word of job names (by jobs / I/O / task-time)\n\n",
-    );
+    let mut out =
+        String::from("Figure 10: First word of job names (by jobs / I/O / task-time)\n\n");
     for trace in &corpus.traces {
         let analysis = NameAnalysis::of(trace);
         out.push_str(&format!("{}:\n", trace.kind));
@@ -28,7 +27,11 @@ pub fn run(corpus: &Corpus) -> String {
         for (weighting, label, total) in [
             (Weighting::Jobs, "jobs", analysis.total_jobs as f64),
             (Weighting::Bytes, "bytes", analysis.total_bytes),
-            (Weighting::TaskTime, "task-time", analysis.total_task_seconds),
+            (
+                Weighting::TaskTime,
+                "task-time",
+                analysis.total_task_seconds,
+            ),
         ] {
             let groups = analysis.sorted_by(weighting);
             let parts: Vec<String> = groups

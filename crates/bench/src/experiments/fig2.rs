@@ -17,11 +17,15 @@ pub const FIT_RANKS: usize = 300;
 
 /// Regenerate the Figure 2 fits.
 pub fn run(corpus: &Corpus) -> String {
-    let mut out = String::from(
-        "Figure 2: Zipf-like file access frequency vs rank (log-log slope)\n\n",
-    );
+    let mut out =
+        String::from("Figure 2: Zipf-like file access frequency vs rank (log-log slope)\n\n");
     let mut table = Table::new(vec![
-        "Workload", "Stage", "Files", "Accesses", "Fitted slope", "R^2",
+        "Workload",
+        "Stage",
+        "Files",
+        "Accesses",
+        "Fitted slope",
+        "R^2",
         "paper slope",
     ]);
     let mut slopes = Vec::new();
@@ -84,7 +88,12 @@ mod tests {
         for trace in corpus.with_input_paths() {
             let stats = FileAccessStats::gather(trace, PathStage::Input);
             let fit = stats.zipf_fit(Some(FIT_RANKS)).unwrap();
-            assert!(fit.r_squared > 0.7, "{}: R² {:.3}", trace.kind, fit.r_squared);
+            assert!(
+                fit.r_squared > 0.7,
+                "{}: R² {:.3}",
+                trace.kind,
+                fit.r_squared
+            );
         }
     }
 

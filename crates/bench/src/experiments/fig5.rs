@@ -22,7 +22,12 @@ pub fn run(corpus: &Corpus) -> String {
     let mut out = String::from("Figure 5: Data re-access interval CDFs\n\n");
     for (panel, pick) in [("input→input", 0usize), ("output→input", 1)] {
         let mut table = Table::new(vec![
-            "Workload", "re-accesses", "≤1 min", "≤1 hr", "≤6 hrs", "≤60 hrs",
+            "Workload",
+            "re-accesses",
+            "≤1 min",
+            "≤1 hr",
+            "≤6 hrs",
+            "≤60 hrs",
         ]);
         for trace in corpus.with_input_paths() {
             let loc = LocalityStats::gather(trace);
@@ -35,11 +40,9 @@ pub fn run(corpus: &Corpus) -> String {
                 continue;
             }
             let n = intervals.len() as f64;
-            let mut cells =
-                vec![trace.kind.label().to_owned(), intervals.len().to_string()];
+            let mut cells = vec![trace.kind.label().to_owned(), intervals.len().to_string()];
             for (secs, _) in THRESHOLDS {
-                let within =
-                    intervals.iter().filter(|&&x| x <= secs as f64).count() as f64;
+                let within = intervals.iter().filter(|&&x| x <= secs as f64).count() as f64;
                 cells.push(pct(within / n));
             }
             table.row(cells);

@@ -10,8 +10,7 @@ use swim_core::locality::LocalityStats;
 
 /// Regenerate the Figure 6 report.
 pub fn run(corpus: &Corpus) -> String {
-    let mut out =
-        String::from("Figure 6: Fraction of jobs reading pre-existing data\n\n");
+    let mut out = String::from("Figure 6: Fraction of jobs reading pre-existing data\n\n");
     let mut table = Table::new(vec![
         "Workload",
         "re-reads pre-existing input",

@@ -11,45 +11,80 @@ use crate::Corpus;
 use swim_core::fourier::detect_diurnal;
 use swim_core::timeseries::HourlySeries;
 use swim_sim::{SimConfig, Simulator};
+use swim_store::{store_to_vec, Store, StoreOptions};
 use swim_synth::ReplayPlan;
+use swim_trace::time::WEEK;
 use swim_trace::trace::WorkloadKind;
+use swim_trace::{Dur, Trace};
 
 /// Workloads whose utilization column is produced by replaying on the
 /// simulator (kept to the smaller clusters so `fig7` stays fast; the
 /// paper likewise lacks utilization for CC-c, CC-d, FB-2009).
-pub const REPLAYED: [WorkloadKind; 3] =
-    [WorkloadKind::CcA, WorkloadKind::CcB, WorkloadKind::CcE];
+pub const REPLAYED: [WorkloadKind; 3] = [WorkloadKind::CcA, WorkloadKind::CcB, WorkloadKind::CcE];
+
+/// The first-week hourly series, computed through the columnar store: the
+/// full trace is encoded once, then the week is read back with a
+/// chunk-skipping time-range scan and binned job-by-job without ever
+/// materializing the window as a `Trace`. This is how the §5 per-window
+/// statistics run against stores bigger than RAM; a test asserts equality
+/// with the in-memory `HourlySeries::of(first_week)` path.
+pub fn store_first_week_series(trace: &Trace) -> HourlySeries {
+    let store = Store::from_vec(store_to_vec(trace, &StoreOptions::default()))
+        .expect("freshly encoded store reopens");
+    let Some(start) = trace.start() else {
+        return HourlySeries::from_jobs(std::iter::empty::<swim_trace::Job>());
+    };
+    let scan = store
+        .scan_range(start, start + Dur::from_secs(WEEK))
+        .expect("in-memory store scan cannot fail");
+    HourlySeries::from_jobs(scan.jobs().map(|j| j.expect("in-memory chunk decodes")))
+}
 
 /// Regenerate the Figure 7 report.
 pub fn run(corpus: &Corpus) -> String {
     let mut out = String::from(
-        "Figure 7: Workload behaviour over one week (hourly series)\n\n\
+        "Figure 7: Workload behaviour over one week (hourly series, built \
+         from swim-store chunked range scans)\n\n\
          Columns: jobs/hr, I/O bytes/hr, task-time/hr — rendered as \
          7-day sparklines; utilization (avg active slots) from simulator \
          replay where marked.\n\n",
     );
     for trace in &corpus.traces {
-        let week = trace.first_week();
-        let series = HourlySeries::of(&week).truncate(24 * 7);
+        let series = store_first_week_series(trace).truncate(24 * 7);
         out.push_str(&format!("{}:\n", trace.kind));
         out.push_str(&format!("  jobs/hr   {}\n", sparkline(&series.jobs)));
         out.push_str(&format!("  io/hr     {}\n", sparkline(&series.bytes)));
-        out.push_str(&format!("  task-t/hr {}\n", sparkline(&series.task_seconds)));
+        out.push_str(&format!(
+            "  task-t/hr {}\n",
+            sparkline(&series.task_seconds)
+        ));
         if REPLAYED.contains(&trace.kind) {
-            let plan = ReplayPlan::from_trace(&week);
+            // Replay still materializes the week: the simulator consumes a
+            // schedule, not a statistic.
+            let plan = ReplayPlan::from_trace(&trace.first_week());
             let sim = Simulator::new(SimConfig::new(trace.machines));
             let result = sim.run(&plan, None);
-            let util: Vec<f64> =
-                result.hourly_utilization.iter().take(24 * 7).copied().collect();
+            let util: Vec<f64> = result
+                .hourly_utilization
+                .iter()
+                .take(24 * 7)
+                .copied()
+                .collect();
             out.push_str(&format!("  util      {} (replayed)\n", sparkline(&util)));
         } else {
-            out.push_str("  util      (not replayed — as in the paper, not all traces have utilization)\n");
+            out.push_str(
+                "  util      (not replayed — as in the paper, not all traces have utilization)\n",
+            );
         }
         if let Some(d) = detect_diurnal(&series.jobs, 3.0) {
             out.push_str(&format!(
                 "  diurnal   snr={:.1} → {}\n",
                 d.snr,
-                if d.detected { "daily cycle detected" } else { "no clear daily cycle" }
+                if d.detected {
+                    "daily cycle detected"
+                } else {
+                    "no clear daily cycle"
+                }
             ));
         }
         out.push('\n');
@@ -74,6 +109,19 @@ mod tests {
             let s = HourlySeries::of(&trace.first_week());
             assert!(!s.is_empty(), "{}", trace.kind);
             assert!(s.jobs.iter().sum::<f64>() > 0.0);
+        }
+    }
+
+    #[test]
+    fn store_range_scan_series_equals_in_memory_series() {
+        let corpus = test_corpus();
+        for trace in &corpus.traces {
+            assert_eq!(
+                store_first_week_series(trace),
+                HourlySeries::of(&trace.first_week()),
+                "{}",
+                trace.kind
+            );
         }
     }
 

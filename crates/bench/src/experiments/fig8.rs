@@ -15,12 +15,17 @@ use swim_core::timeseries::HourlySeries;
 pub const PCTS: [f64; 7] = [5.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0];
 
 /// Render one burstiness table for a named per-workload signal extractor.
-fn signal_table(
-    corpus: &Corpus,
-    extract: impl Fn(&HourlySeries) -> Vec<f64>,
-) -> Table {
+fn signal_table(corpus: &Corpus, extract: impl Fn(&HourlySeries) -> Vec<f64>) -> Table {
     let mut table = Table::new(vec![
-        "Signal", "p5", "p25", "p50", "p75", "p90", "p99", "peak", "peak:median",
+        "Signal",
+        "p5",
+        "p25",
+        "p50",
+        "p75",
+        "p90",
+        "p99",
+        "peak",
+        "peak:median",
     ]);
     let mut rows: Vec<(String, Burstiness)> = Vec::new();
     for trace in &corpus.traces {
@@ -95,8 +100,9 @@ mod tests {
     #[test]
     fn workloads_are_burstier_than_sines() {
         let corpus = test_corpus();
-        let sine =
-            Burstiness::of(&sine_reference(2.0, 24 * 14), &[]).unwrap().peak_to_median;
+        let sine = Burstiness::of(&sine_reference(2.0, 24 * 14), &[])
+            .unwrap()
+            .peak_to_median;
         let mut above = 0;
         for trace in &corpus.traces {
             let series = HourlySeries::of(trace);
@@ -106,7 +112,10 @@ mod tests {
                 }
             }
         }
-        assert!(above >= 5, "only {above}/7 workloads beat the sine reference");
+        assert!(
+            above >= 5,
+            "only {above}/7 workloads beat the sine reference"
+        );
     }
 
     #[test]

@@ -15,11 +15,12 @@ pub const PAPER_MEANS: (f64, f64, f64) = (0.21, 0.14, 0.62);
 
 /// Regenerate the Figure 9 report.
 pub fn run(corpus: &Corpus) -> String {
-    let mut out = String::from(
-        "Figure 9: Correlations between hourly submission series\n\n",
-    );
+    let mut out = String::from("Figure 9: Correlations between hourly submission series\n\n");
     let mut table = Table::new(vec![
-        "Workload", "jobs-bytes", "jobs-task-secs", "bytes-task-secs",
+        "Workload",
+        "jobs-bytes",
+        "jobs-task-secs",
+        "bytes-task-secs",
     ]);
     let mut sums = (0.0, 0.0, 0.0);
     let mut n = 0.0;

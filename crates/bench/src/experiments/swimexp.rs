@@ -26,9 +26,8 @@ pub const KS_THRESHOLD: f64 = 0.25;
 /// Run the SWIM pipeline and report each stage.
 pub fn run(corpus: &Corpus) -> String {
     let source = corpus.get(&WorkloadKind::Fb2009);
-    let mut out = String::from(
-        "SWIM (§7): synthesize a scaled-down, replayable FB-2009 workload\n\n",
-    );
+    let mut out =
+        String::from("SWIM (§7): synthesize a scaled-down, replayable FB-2009 workload\n\n");
     out.push_str(&format!(
         "source trace: {} jobs over {}, {} moved\n",
         source.len(),
@@ -47,7 +46,11 @@ pub fn run(corpus: &Corpus) -> String {
     // 2. Scale data sizes to the target cluster.
     let scaled = scale_trace(
         &sampled,
-        ScaleConfig { target_machines: TARGET_NODES, mode: ScaleMode::DataSize, seed: 0 },
+        ScaleConfig {
+            target_machines: TARGET_NODES,
+            mode: ScaleMode::DataSize,
+            seed: 0,
+        },
     );
     out.push_str(&format!(
         "scaled      : {} nodes, {} to move\n",

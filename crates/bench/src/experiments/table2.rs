@@ -40,7 +40,10 @@ pub const MAX_K: usize = 12;
 /// alternative (ablation: `swim-core`'s default) spreads the small-job
 /// blob and keeps splitting it instead.
 pub fn table2_config() -> KMeansConfig {
-    KMeansConfig { scaling: FeatureScaling::Raw, ..Default::default() }
+    KMeansConfig {
+        scaling: FeatureScaling::Raw,
+        ..Default::default()
+    }
 }
 
 /// Fit Table 2 for one trace: k-means at the paper's published k (the
@@ -60,7 +63,13 @@ pub fn fit_paper_k(trace: &swim_trace::Trace) -> KMeans {
     // dichotomy must always be visible). At the standard corpus scale the
     // cap is inactive and the paper's k is used as-is.
     let k = paper_k.min((trace.len() / 150).max(2));
-    KMeans::fit(trace, KMeansConfig { k, ..table2_config() })
+    KMeans::fit(
+        trace,
+        KMeansConfig {
+            k,
+            ..table2_config()
+        },
+    )
 }
 
 /// Regenerate the Table 2 report.
@@ -77,13 +86,17 @@ pub fn run(corpus: &Corpus) -> String {
         let elbow = KMeans::fit_with_elbow(trace, MAX_K, ELBOW, table2_config());
         out.push_str(&format!(
             "{} — paper k = {} (elbow would choose k = {}):\n",
-            trace.kind,
-            model.config.k,
-            elbow.config.k
+            trace.kind, model.config.k, elbow.config.k
         ));
         let mut table = Table::new(vec![
-            "# Jobs", "Input", "Shuffle", "Output", "Duration", "Map time",
-            "Reduce time", "Label",
+            "# Jobs",
+            "Input",
+            "Shuffle",
+            "Output",
+            "Duration",
+            "Map time",
+            "Reduce time",
+            "Label",
         ]);
         for c in &model.clusters {
             table.row(vec![
@@ -99,8 +112,7 @@ pub fn run(corpus: &Corpus) -> String {
         }
         out.push_str(&table.render());
         let total: u64 = model.clusters.iter().map(|c| c.count).sum();
-        let small_share =
-            model.clusters[0].count as f64 / total.max(1) as f64;
+        let small_share = model.clusters[0].count as f64 / total.max(1) as f64;
         out.push_str(&format!(
             "  dominant cluster holds {:.1}% of jobs\n\n",
             small_share * 100.0
@@ -148,7 +160,10 @@ mod tests {
                 small += 1;
             }
         }
-        assert!(small >= 6, "only {small}/7 dominant clusters labelled Small jobs");
+        assert!(
+            small >= 6,
+            "only {small}/7 dominant clusters labelled Small jobs"
+        );
     }
 
     #[test]

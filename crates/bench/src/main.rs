@@ -18,6 +18,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = CorpusScale::Standard;
     let mut seed: u64 = 42;
+    let mut store_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -27,6 +28,13 @@ fn main() -> ExitCode {
                 Some(s) => seed = s,
                 None => {
                     eprintln!("--seed requires an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--store-dir" => match iter.next() {
+                Some(dir) => store_dir = Some(dir),
+                None => {
+                    eprintln!("--store-dir requires a directory argument");
                     return ExitCode::FAILURE;
                 }
             },
@@ -63,13 +71,17 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "building corpus ({}, seed {seed}) ...",
+        "building corpus ({}, seed {seed}{}) ...",
         match scale {
             CorpusScale::Quick => "quick",
             CorpusScale::Standard => "standard",
-        }
+        },
+        store_dir
+            .as_deref()
+            .map(|d| format!(", store cache {d}"))
+            .unwrap_or_default()
     );
-    let corpus = Corpus::build(scale, seed);
+    let corpus = Corpus::build_or_load(scale, seed, store_dir.as_deref().map(std::path::Path::new));
     for (i, id) in ids.iter().enumerate() {
         if i > 0 {
             println!("\n{}\n", "=".repeat(72));
@@ -85,9 +97,10 @@ fn main() -> ExitCode {
 fn print_help() {
     eprintln!(
         "swim-repro — regenerate the VLDB'12 study's tables and figures\n\n\
-         usage: swim-repro [--quick] [--seed N] <experiment>...\n\
+         usage: swim-repro [--quick] [--seed N] [--store-dir DIR] <experiment>...\n\
          experiments: {} | all\n\
-         flags: --quick (small corpus), --seed N, --list, --help",
+         flags: --quick (small corpus), --seed N, --store-dir DIR (cache the \
+         corpus as swim-store files), --list, --help",
         experiments::ALL.join(" | ")
     );
 }

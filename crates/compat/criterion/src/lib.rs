@@ -1,0 +1,265 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/API surface the workspace's benches use —
+//! `criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `Bencher::iter` — backed by a simple wall-clock harness: a warm-up
+//! pass, then timed batches until a target measurement window is filled,
+//! reporting min/mean/median per benchmark. No statistical analysis or
+//! HTML reports, but `cargo bench` output stays comparable run-to-run.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings (a fixed-time harness).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measure_for: Duration,
+    warm_up_iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measure_for: Duration::from_millis(300),
+            warm_up_iters: 2,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(self, name, None, f);
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Criterion-compatible no-op tuning knob (the shim harness is
+    /// time-bounded rather than sample-count-bounded).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput (printed only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        match t {
+            Throughput::Bytes(n) => eprintln!("   throughput unit: {n} bytes/iter"),
+            Throughput::Elements(n) => eprintln!("   throughput unit: {n} elems/iter"),
+        }
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(self.criterion, &label, self.sample_size, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(self.criterion, &label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// End the group (criterion-compatible; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; measures the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the harness-chosen iteration count.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    label: &str,
+    sample_size: Option<usize>,
+    mut f: F,
+) {
+    // Warm-up & calibration: run single iterations to estimate cost.
+    let mut one = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let mut per_iter = Duration::ZERO;
+    for _ in 0..criterion.warm_up_iters.max(1) {
+        f(&mut one);
+        per_iter = one.elapsed.max(Duration::from_nanos(1));
+    }
+    // Aim for enough samples to fill the measurement window, each sample
+    // being one timed iteration batch.
+    let window = criterion.measure_for;
+    let max_samples = sample_size.unwrap_or(50) as u64;
+    let samples =
+        (window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, max_samples as u128) as u64;
+    let mut timings: Vec<Duration> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        timings.push(b.elapsed / b.iters.max(1) as u32);
+    }
+    timings.sort_unstable();
+    let min = timings[0];
+    let median = timings[timings.len() / 2];
+    let mean = timings.iter().sum::<Duration>() / timings.len() as u32;
+    eprintln!(
+        "{label:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+        min,
+        median,
+        mean,
+        timings.len()
+    );
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            measure_for: Duration::from_millis(5),
+            warm_up_iters: 1,
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = quick();
+        let mut ran = 0u32;
+        c.bench_function("counts", |b| {
+            b.iter(|| ());
+            ran += 1;
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &7u32, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

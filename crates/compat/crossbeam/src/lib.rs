@@ -1,0 +1,92 @@
+//! Offline stand-in for `crossbeam`: the scoped-thread API implemented
+//! over `std::thread::scope` (which, since Rust 1.63, covers everything
+//! the workspace needs from `crossbeam::thread`).
+
+#![warn(missing_docs)]
+
+/// Scoped threads in crossbeam's spelling.
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Result alias matching `crossbeam::thread::scope`'s return type.
+    pub type Result<T> = stdthread::Result<T>;
+
+    /// A scope handle passed to `scope` and to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; the closure receives the scope so it can
+        /// spawn further threads (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned.
+    /// All spawned threads are joined before `scope` returns. Unlike
+    /// crossbeam the error arm is unreachable (std re-panics child panics
+    /// on implicit join), but the `Result` shape is preserved.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,525 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits impls of the workspace's Value-tree `serde` shim. Because the
+//! registry (and therefore `syn`/`quote`) is unavailable, the type
+//! definition is parsed directly from the raw `proc_macro::TokenStream`.
+//! Supported shapes — exactly what the workspace uses:
+//!
+//! * structs with named fields (honoring `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]`),
+//! * tuple structs (single-field newtypes serialize transparently, as in
+//!   serde; `#[serde(transparent)]` is accepted and implied),
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generics are not supported and produce a compile-time panic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let model = parse(input);
+    gen_serialize(&model)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let model = parse(input);
+    gen_deserialize(&model)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- model ------------------------------------------------------------
+
+struct Model {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---- parsing ----------------------------------------------------------
+
+struct SerdeAttrs {
+    default: bool,
+    skip_if: Option<String>,
+}
+
+/// Parse one `#[...]` attribute group's contents; returns serde metas if it
+/// is a `serde(...)` attribute.
+fn parse_attr_group(tokens: &[TokenTree]) -> Option<SerdeAttrs> {
+    let mut attrs = SerdeAttrs {
+        default: false,
+        skip_if: None,
+    };
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        _ => return Some(attrs),
+    };
+    let mut i = 0;
+    while i < inner.len() {
+        match &inner[i] {
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "default" => attrs.default = true,
+                    "transparent" => {} // implied for single-field tuple structs
+                    "skip_serializing_if" => {
+                        // skip_serializing_if = "Path::to::fn"
+                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                            (inner.get(i + 1), inner.get(i + 2))
+                        {
+                            if eq.as_char() == '=' {
+                                let raw = lit.to_string();
+                                attrs.skip_if = Some(raw.trim_matches('"').to_string());
+                                i += 2;
+                            }
+                        }
+                    }
+                    other => panic!("serde shim derive: unsupported serde attribute `{other}`"),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde shim derive: unexpected token {other} in serde attribute"),
+        }
+        i += 1;
+    }
+    Some(attrs)
+}
+
+/// Consume leading attributes at `*i`, merging any serde metas.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut merged = SerdeAttrs {
+        default: false,
+        skip_if: None,
+    };
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let Some(found) = parse_attr_group(&inner) {
+                            merged.default |= found.default;
+                            if found.skip_if.is_some() {
+                                merged.skip_if = found.skip_if;
+                            }
+                        }
+                        *i += 2;
+                        continue;
+                    }
+                }
+                panic!("serde shim derive: stray `#`");
+            }
+            _ => break,
+        }
+    }
+    merged
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Count comma-separated items at the top level of a token slice,
+/// treating `<...>` angle sections as nested.
+fn count_top_level_items(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut items = 1;
+    let mut depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    items += 1;
+                    saw_trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_trailing_comma = false;
+    }
+    if saw_trailing_comma {
+        items -= 1;
+    }
+    items
+}
+
+fn parse_named_fields(group: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        let attrs = skip_attrs(group, &mut i);
+        if i >= group.len() {
+            break;
+        }
+        skip_vis(group, &mut i);
+        let name = match &group[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &group[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field, got {other}"),
+        }
+        // Skip the type until a top-level comma.
+        let mut depth = 0i32;
+        while i < group.len() {
+            if let TokenTree::Punct(p) = &group[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            default: attrs.default,
+            skip_if: attrs.skip_if,
+        });
+    }
+    fields
+}
+
+fn parse_variants(group: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        skip_attrs(group, &mut i);
+        if i >= group.len() {
+            break;
+        }
+        let name = match &group[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let shape = match group.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Tuple(count_top_level_items(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Struct(parse_named_fields(&inner))
+            }
+            _ => Shape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = group.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse(input: TokenStream) -> Model {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let is_enum = match &tokens[i] {
+        TokenTree::Ident(id) => match id.to_string().as_str() {
+            "struct" => false,
+            "enum" => true,
+            other => panic!("serde shim derive: expected struct/enum, got `{other}`"),
+        },
+        other => panic!("serde shim derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+    let kind = if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::Enum(parse_variants(&inner))
+            }
+            _ => panic!("serde shim derive: malformed enum `{name}`"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::Tuple(count_top_level_items(&inner))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            _ => panic!("serde shim derive: malformed struct `{name}`"),
+        }
+    };
+    Model { name, kind }
+}
+
+// ---- codegen ----------------------------------------------------------
+
+fn gen_serialize(model: &Model) -> String {
+    let name = &model.name;
+    let body = match &model.kind {
+        Kind::Named(fields) => {
+            let mut b = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let n = &f.name;
+                let push = format!(
+                    "__fields.push((::std::string::String::from(\"{n}\"), \
+                     ::serde::Serialize::to_value(&self.{n})));"
+                );
+                if let Some(skip) = &f.skip_if {
+                    b.push_str(&format!("if !({skip}(&self.{n})) {{ {push} }}\n"));
+                } else {
+                    b.push_str(&push);
+                    b.push('\n');
+                }
+            }
+            b.push_str("::serde::Value::Object(__fields)");
+            b
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_constructor(ty: &str, path: &str, fields: &[Field], obj_expr: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let n = &f.name;
+        let on_missing = if f.default || f.skip_if.is_some() {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::missing(\"{n}\", \"{ty}\"))"
+            )
+        };
+        inits.push_str(&format!(
+            "{n}: match ::serde::obj_get({obj_expr}, \"{n}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::std::option::Option::None => {on_missing},\n}},\n"
+        ));
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(model: &Model) -> String {
+    let name = &model.name;
+    let body = match &model.kind {
+        Kind::Named(fields) => {
+            let ctor = gen_named_constructor(name, name, fields, "__obj");
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(\"wrong tuple arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__val)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __arr = __val.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected array for {name}::{vn}\"))?;\n\
+                             if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let ctor =
+                            gen_named_constructor(name, &format!("{name}::{vn}"), fields, "__vobj");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __vobj = __val.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({ctor})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__k, __val) = &__o[0];\n\
+                 let _ = __val;\n\
+                 match __k.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"unexpected value shape for enum {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

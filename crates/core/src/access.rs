@@ -46,11 +46,12 @@ impl FileAccessStats {
         }
         let mut frequencies: Vec<u64> = counts.values().copied().collect();
         frequencies.sort_unstable_by(|a, b| b.cmp(a));
-        let file_sizes: Vec<(DataSize, u64)> = sizes
-            .iter()
-            .map(|(p, &s)| (s, counts[p]))
-            .collect();
-        FileAccessStats { stage, frequencies, file_sizes }
+        let file_sizes: Vec<(DataSize, u64)> = sizes.iter().map(|(p, &s)| (s, counts[p])).collect();
+        FileAccessStats {
+            stage,
+            frequencies,
+            file_sizes,
+        }
     }
 
     /// Number of distinct files.

@@ -57,7 +57,10 @@ impl Burstiness {
                 ratio: ecdf.quantile(p / 100.0) / median,
             })
             .collect();
-        Some(Burstiness { points, peak_to_median: ecdf.max() / median })
+        Some(Burstiness {
+            points,
+            peak_to_median: ecdf.max() / median,
+        })
     }
 
     /// Ratio at a given percentile (linear scan; curves are ≤ 100 points).

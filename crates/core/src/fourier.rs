@@ -95,8 +95,17 @@ pub fn detect_diurnal(hourly_signal: &[f64], threshold: f64) -> Option<DiurnalDe
     let spectrum = Spectrum::of(hourly_signal);
     let daily = spectrum.magnitude_at_period(24.0)?;
     let floor = spectrum.noise_floor();
-    let snr = if floor > 0.0 { daily / floor } else { f64::INFINITY };
-    Some(DiurnalDetection { daily_magnitude: daily, noise_floor: floor, snr, detected: snr >= threshold })
+    let snr = if floor > 0.0 {
+        daily / floor
+    } else {
+        f64::INFINITY
+    };
+    Some(DiurnalDetection {
+        daily_magnitude: daily,
+        noise_floor: floor,
+        snr,
+        detected: snr >= threshold,
+    })
 }
 
 #[cfg(test)]
@@ -123,7 +132,9 @@ mod tests {
         let mut x: u64 = 12345;
         let signal: Vec<f64> = (0..24 * 14)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as f64 / (1u64 << 31) as f64
             })
             .collect();
@@ -169,6 +180,10 @@ mod tests {
             .map(|h| 100.0 + 10.0 * (h as f64 / (24.0 * 7.0) * std::f64::consts::TAU).sin())
             .collect();
         let d = detect_diurnal(&signal, 3.0).unwrap();
-        assert!(!d.detected, "weekly cycle misdetected as daily, snr {}", d.snr);
+        assert!(
+            !d.detected,
+            "weekly cycle misdetected as daily, snr {}",
+            d.snr
+        );
     }
 }

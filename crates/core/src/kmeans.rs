@@ -42,7 +42,12 @@ pub struct KMeansConfig {
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        KMeansConfig { k: 4, max_iters: 100, seed: 0, scaling: FeatureScaling::LogZScore }
+        KMeansConfig {
+            k: 4,
+            max_iters: 100,
+            seed: 0,
+            scaling: FeatureScaling::LogZScore,
+        }
     }
 }
 
@@ -135,8 +140,7 @@ impl KMeans {
     /// Fit k-means over a trace's jobs. Panics if the trace has fewer jobs
     /// than clusters.
     pub fn fit(trace: &Trace, config: KMeansConfig) -> KMeans {
-        let features: Vec<[f64; 6]> =
-            trace.jobs().iter().map(|j| j.feature_vector()).collect();
+        let features: Vec<[f64; 6]> = trace.jobs().iter().map(|j| j.feature_vector()).collect();
         Self::fit_features(&features, trace.jobs(), config)
     }
 
@@ -151,67 +155,22 @@ impl KMeans {
         let scaler = Scaler::fit(raw, config.scaling);
         let points: Vec<[f64; 6]> = raw.iter().map(|f| scaler.transform(f)).collect();
 
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut centroids = kmeanspp_init(&points, config.k, &mut rng);
-        let mut assignments = vec![0usize; points.len()];
-
-        for _ in 0..config.max_iters {
-            let mut changed = false;
-            for (i, p) in points.iter().enumerate() {
-                let nearest = centroids
-                    .iter()
-                    .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        sq_dist(p, a).partial_cmp(&sq_dist(p, b)).expect("finite")
-                    })
-                    .map(|(idx, _)| idx)
-                    .expect("k >= 1");
-                if assignments[i] != nearest {
-                    assignments[i] = nearest;
-                    changed = true;
-                }
-            }
-            // Recompute centroids; empty clusters are re-seeded at the
-            // point farthest from its centroid to keep k populated.
-            let mut sums = vec![[0.0; 6]; config.k];
-            let mut counts = vec![0u64; config.k];
-            for (i, p) in points.iter().enumerate() {
-                let c = assignments[i];
-                counts[c] += 1;
-                for d in 0..6 {
-                    sums[c][d] += p[d];
-                }
-            }
-            for c in 0..config.k {
-                if counts[c] == 0 {
-                    let far = points
-                        .iter()
-                        .enumerate()
-                        .max_by(|(i, p), (j, q)| {
-                            sq_dist(p, &centroids[assignments[*i]])
-                                .partial_cmp(&sq_dist(q, &centroids[assignments[*j]]))
-                                .expect("finite")
-                        })
-                        .map(|(i, _)| i)
-                        .expect("non-empty points");
-                    centroids[c] = points[far];
-                    changed = true;
-                } else {
-                    for d in 0..6 {
-                        centroids[c][d] = sums[c][d] / counts[c] as f64;
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-
-        let inertia: f64 = points
-            .iter()
-            .zip(&assignments)
-            .map(|(p, &c)| sq_dist(p, &centroids[c]))
-            .sum();
+        // Best of a few k-means++ restarts: single-init Lloyd can land in a
+        // poor local minimum, which makes the elbow criterion unstable.
+        // k = 1 is seed-independent (the centroid is the global mean), so
+        // one run suffices there.
+        const RESTARTS: u64 = 4;
+        let restarts = if config.k == 1 { 1 } else { RESTARTS };
+        let (assignments, inertia) = (0..restarts)
+            .map(|r| {
+                lloyd(
+                    &points,
+                    config,
+                    config.seed.wrapping_add(r.wrapping_mul(0x9E37_79B9)),
+                )
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite inertia"))
+            .expect("at least one restart");
 
         // Report centroids in original units as per-cluster medians (robust
         // against the heavy within-cluster tails), labelled heuristically.
@@ -235,15 +194,23 @@ impl KMeans {
         for (new_idx, &old_idx) in order.iter().enumerate() {
             remap[old_idx] = new_idx;
         }
-        clusters.sort_by(|a, b| b.count.cmp(&a.count));
+        clusters.sort_by_key(|c| std::cmp::Reverse(c.count));
         let assignments = assignments.into_iter().map(|a| remap[a]).collect();
 
-        KMeans { config, clusters, inertia, assignments }
+        KMeans {
+            config,
+            clusters,
+            inertia,
+            assignments,
+        }
     }
 
     /// Fit for increasing `k` and pick the elbow: the smallest `k` whose
-    /// incremental inertia reduction falls below `threshold` (fraction of
-    /// the previous inertia). Returns the chosen model.
+    /// incremental inertia reduction falls below `threshold`, measured as
+    /// a fraction of the total (k = 1) variance. Normalizing against the
+    /// k = 1 baseline rather than the previous inertia keeps the rule
+    /// stable on well-separated clusters, where every further split still
+    /// halves an already-tiny residual. Returns the chosen model.
     pub fn fit_with_elbow(
         trace: &Trace,
         max_k: usize,
@@ -251,12 +218,16 @@ impl KMeans {
         base: KMeansConfig,
     ) -> KMeans {
         assert!(max_k >= 1);
+        let mut total: f64 = 0.0;
         let mut prev: Option<KMeans> = None;
         for k in 1..=max_k.min(trace.len()) {
             let model = KMeans::fit(trace, KMeansConfig { k, ..base });
+            if k == 1 {
+                total = model.inertia;
+            }
             if let Some(p) = &prev {
-                let drop = if p.inertia > 0.0 {
-                    (p.inertia - model.inertia) / p.inertia
+                let drop = if total > 0.0 {
+                    (p.inertia - model.inertia) / total
                 } else {
                     0.0
                 };
@@ -270,20 +241,78 @@ impl KMeans {
     }
 }
 
+/// One k-means++-initialized Lloyd run; returns the assignment vector and
+/// its residual intra-cluster variance.
+fn lloyd(points: &[[f64; 6]], config: KMeansConfig, seed: u64) -> (Vec<usize>, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids = kmeanspp_init(points, config.k, &mut rng);
+    let mut assignments = vec![0usize; points.len()];
+
+    for _ in 0..config.max_iters {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| sq_dist(p, a).partial_cmp(&sq_dist(p, b)).expect("finite"))
+                .map(|(idx, _)| idx)
+                .expect("k >= 1");
+            if assignments[i] != nearest {
+                assignments[i] = nearest;
+                changed = true;
+            }
+        }
+        // Recompute centroids; empty clusters are re-seeded at the
+        // point farthest from its centroid to keep k populated.
+        let mut sums = vec![[0.0; 6]; config.k];
+        let mut counts = vec![0u64; config.k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignments[i];
+            counts[c] += 1;
+            for d in 0..6 {
+                sums[c][d] += p[d];
+            }
+        }
+        for c in 0..config.k {
+            if counts[c] == 0 {
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(i, p), (j, q)| {
+                        sq_dist(p, &centroids[assignments[*i]])
+                            .partial_cmp(&sq_dist(q, &centroids[assignments[*j]]))
+                            .expect("finite")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty points");
+                centroids[c] = points[far];
+                changed = true;
+            } else {
+                for d in 0..6 {
+                    centroids[c][d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia: f64 = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &c)| sq_dist(p, &centroids[c]))
+        .sum();
+    (assignments, inertia)
+}
+
 /// k-means++ initialization: first centroid uniform, subsequent ones
 /// sampled with probability proportional to squared distance from the
 /// nearest existing centroid.
-fn kmeanspp_init<R: Rng + ?Sized>(
-    points: &[[f64; 6]],
-    k: usize,
-    rng: &mut R,
-) -> Vec<[f64; 6]> {
+fn kmeanspp_init<R: Rng + ?Sized>(points: &[[f64; 6]], k: usize, rng: &mut R) -> Vec<[f64; 6]> {
     let mut centroids = Vec::with_capacity(k);
     centroids.push(points[rng.random_range(0..points.len())]);
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| sq_dist(p, &centroids[0]))
-        .collect();
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
@@ -323,8 +352,12 @@ fn cluster_from_members(members: &[&Job]) -> Cluster {
     let output = median_of(members.iter().map(|j| j.output.as_f64()).collect());
     let duration = median_of(members.iter().map(|j| j.duration.as_f64()).collect());
     let map_time = median_of(members.iter().map(|j| j.map_task_time.as_f64()).collect());
-    let reduce_time =
-        median_of(members.iter().map(|j| j.reduce_task_time.as_f64()).collect());
+    let reduce_time = median_of(
+        members
+            .iter()
+            .map(|j| j.reduce_task_time.as_f64())
+            .collect(),
+    );
     let c = Cluster {
         count: members.len() as u64,
         input: DataSize::from_f64(input),
@@ -335,7 +368,10 @@ fn cluster_from_members(members: &[&Job]) -> Cluster {
         reduce_time: Dur::from_f64(reduce_time),
         label: String::new(),
     };
-    Cluster { label: label_cluster(&c), ..c }
+    Cluster {
+        label: label_cluster(&c),
+        ..c
+    }
 }
 
 /// Heuristic cluster labelling in the paper's Table 2 vocabulary, driven
@@ -439,7 +475,13 @@ mod tests {
     #[test]
     fn separates_bimodal_population() {
         let t = bimodal_trace(900, 100);
-        let m = KMeans::fit(&t, KMeansConfig { k: 2, ..Default::default() });
+        let m = KMeans::fit(
+            &t,
+            KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(m.clusters.len(), 2);
         assert_eq!(m.clusters[0].count, 900);
         assert_eq!(m.clusters[1].count, 100);
@@ -450,10 +492,15 @@ mod tests {
     #[test]
     fn assignments_match_cluster_sizes() {
         let t = bimodal_trace(50, 50);
-        let m = KMeans::fit(&t, KMeansConfig { k: 2, ..Default::default() });
+        let m = KMeans::fit(
+            &t,
+            KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         for (c_idx, cluster) in m.clusters.iter().enumerate() {
-            let assigned =
-                m.assignments.iter().filter(|&&a| a == c_idx).count() as u64;
+            let assigned = m.assignments.iter().filter(|&&a| a == c_idx).count() as u64;
             assert_eq!(assigned, cluster.count);
         }
     }
@@ -465,7 +512,11 @@ mod tests {
         for k in 1..=5 {
             let m = KMeans::fit(
                 &t,
-                KMeansConfig { k, seed: 42, ..Default::default() },
+                KMeansConfig {
+                    k,
+                    seed: 42,
+                    ..Default::default()
+                },
             );
             assert!(
                 m.inertia <= last + 1e-6,
@@ -490,7 +541,11 @@ mod tests {
         let t = bimodal_trace(100, 100);
         let m = KMeans::fit(
             &t,
-            KMeansConfig { k: 2, scaling: FeatureScaling::Raw, ..Default::default() },
+            KMeansConfig {
+                k: 2,
+                scaling: FeatureScaling::Raw,
+                ..Default::default()
+            },
         );
         assert_eq!(m.clusters.len(), 2);
         assert_eq!(m.clusters[0].count, 100);
@@ -499,16 +554,28 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let t = bimodal_trace(200, 40);
-        let a = KMeans::fit(&t, KMeansConfig { seed: 7, ..Default::default() });
-        let b = KMeans::fit(&t, KMeansConfig { seed: 7, ..Default::default() });
+        let a = KMeans::fit(
+            &t,
+            KMeansConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let b = KMeans::fit(
+            &t,
+            KMeansConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.clusters, b.clusters);
         assert_eq!(a.assignments, b.assignments);
     }
 
     #[test]
     fn labels_cover_paper_vocabulary() {
-        let mk = |input: DataSize, shuffle: DataSize, output: DataSize, dur: Dur, rt: Dur| {
-            Cluster {
+        let mk =
+            |input: DataSize, shuffle: DataSize, output: DataSize, dur: Dur, rt: Dur| Cluster {
                 count: 1,
                 input,
                 shuffle,
@@ -517,8 +584,7 @@ mod tests {
                 map_time: Dur::from_secs(100),
                 reduce_time: rt,
                 label: String::new(),
-            }
-        };
+            };
         // Small.
         assert_eq!(
             label_cluster(&mk(
@@ -580,6 +646,12 @@ mod tests {
     #[should_panic(expected = "need at least k")]
     fn rejects_fewer_jobs_than_k() {
         let t = bimodal_trace(2, 0);
-        KMeans::fit(&t, KMeansConfig { k: 5, ..Default::default() });
+        KMeans::fit(
+            &t,
+            KMeansConfig {
+                k: 5,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -53,8 +53,7 @@ impl LocalityStats {
                     if let Some(&wrote) = output_written.get(&p) {
                         if wrote <= t {
                             consumed = true;
-                            output_input_intervals
-                                .push((t.saturating_sub(wrote)) as f64);
+                            output_input_intervals.push((t.saturating_sub(wrote)) as f64);
                         }
                     }
                     last_input_read.insert(p, t);
@@ -125,13 +124,7 @@ mod tests {
     use swim_trace::trace::WorkloadKind;
     use swim_trace::{DataSize, Dur, JobBuilder, Timestamp};
 
-    fn job(
-        id: u64,
-        submit: u64,
-        dur: u64,
-        inputs: Vec<u64>,
-        outputs: Vec<u64>,
-    ) -> swim_trace::Job {
+    fn job(id: u64, submit: u64, dur: u64, inputs: Vec<u64>, outputs: Vec<u64>) -> swim_trace::Job {
         JobBuilder::new(id)
             .submit(Timestamp::from_secs(submit))
             .duration(Dur::from_secs(dur))

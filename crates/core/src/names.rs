@@ -142,13 +142,11 @@ impl NameAnalysis {
     pub fn sorted_by(&self, weight: Weighting) -> Vec<WordGroup> {
         let mut gs = self.groups.clone();
         match weight {
-            Weighting::Jobs => gs.sort_by(|a, b| b.jobs.cmp(&a.jobs)),
-            Weighting::Bytes => {
-                gs.sort_by(|a, b| b.bytes.partial_cmp(&a.bytes).expect("finite"))
+            Weighting::Jobs => gs.sort_by_key(|g| std::cmp::Reverse(g.jobs)),
+            Weighting::Bytes => gs.sort_by(|a, b| b.bytes.partial_cmp(&a.bytes).expect("finite")),
+            Weighting::TaskTime => {
+                gs.sort_by(|a, b| b.task_seconds.partial_cmp(&a.task_seconds).expect("finite"))
             }
-            Weighting::TaskTime => gs.sort_by(|a, b| {
-                b.task_seconds.partial_cmp(&a.task_seconds).expect("finite")
-            }),
         }
         gs
     }
@@ -245,9 +243,14 @@ mod tests {
         ]);
         let a = NameAnalysis::of(&t);
         let shares = a.framework_shares();
-        let hive = shares.iter().find(|s| s.framework == Framework::Hive).unwrap();
-        let native =
-            shares.iter().find(|s| s.framework == Framework::Native).unwrap();
+        let hive = shares
+            .iter()
+            .find(|s| s.framework == Framework::Hive)
+            .unwrap();
+        let native = shares
+            .iter()
+            .find(|s| s.framework == Framework::Native)
+            .unwrap();
         assert!((hive.jobs - 2.0 / 3.0).abs() < 1e-12);
         assert!((hive.bytes - 0.5).abs() < 1e-12);
         assert!((native.task_seconds - 0.8).abs() < 1e-12);

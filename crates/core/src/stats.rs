@@ -195,8 +195,16 @@ pub fn ols(points: &[(f64, f64)]) -> Option<Regression> {
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    Some(Regression { slope, intercept, r_squared })
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(Regression {
+        slope,
+        intercept,
+        r_squared,
+    })
 }
 
 /// A histogram over log10-spaced bins, used for Fig. 1-style summaries
@@ -322,8 +330,7 @@ mod tests {
 
     #[test]
     fn ols_fits_exact_line() {
-        let pts: Vec<(f64, f64)> =
-            (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
         let r = ols(&pts).unwrap();
         assert!((r.slope - 3.0).abs() < 1e-12);
         assert!((r.intercept + 2.0).abs() < 1e-12);

@@ -85,22 +85,15 @@ impl WorkloadAnalysis {
     /// Run the full methodology.
     pub fn with_config(trace: &Trace, config: AnalysisConfig) -> WorkloadAnalysis {
         assert!(!trace.is_empty(), "cannot analyze an empty trace");
-        let input_sizes =
-            Ecdf::new(trace.jobs().iter().map(|j| j.input.as_f64()).collect());
-        let shuffle_sizes =
-            Ecdf::new(trace.jobs().iter().map(|j| j.shuffle.as_f64()).collect());
-        let output_sizes =
-            Ecdf::new(trace.jobs().iter().map(|j| j.output.as_f64()).collect());
+        let input_sizes = Ecdf::new(trace.jobs().iter().map(|j| j.input.as_f64()).collect());
+        let shuffle_sizes = Ecdf::new(trace.jobs().iter().map(|j| j.shuffle.as_f64()).collect());
+        let output_sizes = Ecdf::new(trace.jobs().iter().map(|j| j.output.as_f64()).collect());
         let hourly = HourlySeries::of(trace);
         let burstiness = Burstiness::of(&hourly.task_seconds, &[]);
         let correlations = hourly.correlations();
         let diurnal = detect_diurnal(&hourly.jobs, config.diurnal_snr);
-        let job_types = KMeans::fit_with_elbow(
-            trace,
-            config.max_k,
-            config.elbow_threshold,
-            config.kmeans,
-        );
+        let job_types =
+            KMeans::fit_with_elbow(trace, config.max_k, config.elbow_threshold, config.kmeans);
         WorkloadAnalysis {
             summary: trace.summary(),
             input_sizes,
@@ -122,7 +115,13 @@ impl WorkloadAnalysis {
     /// paper's ">90 % small jobs" headline.
     pub fn dominant_job_type_share(&self) -> f64 {
         let total: u64 = self.job_types.clusters.iter().map(|c| c.count).sum();
-        let max = self.job_types.clusters.iter().map(|c| c.count).max().unwrap_or(0);
+        let max = self
+            .job_types
+            .clusters
+            .iter()
+            .map(|c| c.count)
+            .max()
+            .unwrap_or(0);
         max as f64 / total.max(1) as f64
     }
 }

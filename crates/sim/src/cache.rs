@@ -119,13 +119,16 @@ impl Cache {
             self.make_room(size);
             // make_room may fail to free enough for pathological sizes;
             // only insert when the file actually fits.
-            if matches!(self.policy, CachePolicy::Unlimited)
-                || self.used + size <= self.capacity
-            {
+            if matches!(self.policy, CachePolicy::Unlimited) || self.used + size <= self.capacity {
                 self.used += size;
                 self.entries.insert(
                     path,
-                    Entry { size, last_access: now, access_count: 1, seq: self.seq },
+                    Entry {
+                        size,
+                        last_access: now,
+                        access_count: 1,
+                        seq: self.seq,
+                    },
                 );
             }
         }
@@ -143,9 +146,7 @@ impl Cache {
     fn admits(&self, size: DataSize) -> bool {
         match self.policy {
             CachePolicy::Unlimited => true,
-            CachePolicy::SizeThreshold { threshold } => {
-                size < threshold && size <= self.capacity
-            }
+            CachePolicy::SizeThreshold { threshold } => size < threshold && size <= self.capacity,
             CachePolicy::Lru | CachePolicy::Lfu => size <= self.capacity,
         }
     }
@@ -250,7 +251,9 @@ mod tests {
     #[test]
     fn threshold_policy_rejects_large_files() {
         let mut c = Cache::new(
-            CachePolicy::SizeThreshold { threshold: DataSize::from_mb(50) },
+            CachePolicy::SizeThreshold {
+                threshold: DataSize::from_mb(50),
+            },
             DataSize::from_gb(1),
         );
         c.access(PathId(1), DataSize::from_gb(10), ts(0));

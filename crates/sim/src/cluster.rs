@@ -20,7 +20,11 @@ pub struct ClusterConfig {
 impl ClusterConfig {
     /// A cluster with the Hadoop 1.x default slot counts.
     pub fn with_nodes(nodes: u32) -> Self {
-        ClusterConfig { nodes, map_slots_per_node: 2, reduce_slots_per_node: 2 }
+        ClusterConfig {
+            nodes,
+            map_slots_per_node: 2,
+            reduce_slots_per_node: 2,
+        }
     }
 
     /// Total map slots.
@@ -151,7 +155,11 @@ mod tests {
 
     #[test]
     fn custom_slot_ratios() {
-        let c = ClusterConfig { nodes: 10, map_slots_per_node: 6, reduce_slots_per_node: 2 };
+        let c = ClusterConfig {
+            nodes: 10,
+            map_slots_per_node: 6,
+            reduce_slots_per_node: 2,
+        };
         assert_eq!(c.map_slots(), 60);
         assert_eq!(c.reduce_slots(), 20);
     }

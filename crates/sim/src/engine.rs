@@ -11,16 +11,16 @@
 //! durations preserve total slot-seconds — keeping the event count
 //! tractable while leaving utilization and latency signals intact.
 
+use crate::cache::{CachePolicy, CacheStats};
 use crate::cluster::{ClusterConfig, SlotPool};
 use crate::event::{Event, EventQueue};
 use crate::hdfs::{Hdfs, HdfsConfig};
 use crate::metrics::{JobOutcome, UtilizationTracker};
 use crate::scheduler::{Scheduler, SchedulerKind};
-use crate::cache::{CachePolicy, CacheStats};
 use serde::{Deserialize, Serialize};
-use swim_synth::ReplayPlan;
 #[cfg(test)]
 use swim_synth::ReplayJob;
+use swim_synth::ReplayPlan;
 use swim_trace::{DataSize, Dur, PathId, Timestamp};
 
 /// Simulation configuration.
@@ -94,8 +94,7 @@ impl SimResult {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        let mut lat: Vec<f64> =
-            self.outcomes.iter().map(|o| o.latency().as_f64()).collect();
+        let mut lat: Vec<f64> = self.outcomes.iter().map(|o| o.latency().as_f64()).collect();
         lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         lat[lat.len() / 2]
     }
@@ -105,8 +104,7 @@ impl SimResult {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        let mut lat: Vec<f64> =
-            self.outcomes.iter().map(|o| o.latency().as_f64()).collect();
+        let mut lat: Vec<f64> = self.outcomes.iter().map(|o| o.latency().as_f64()).collect();
         lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let rank = ((p.clamp(0.0, 1.0)) * lat.len() as f64).ceil() as usize;
         lat[rank.clamp(1, lat.len()) - 1]
@@ -164,8 +162,11 @@ impl Simulator {
         let mut t = Timestamp::ZERO;
         for (i, rj) in plan.jobs.iter().enumerate() {
             t += rj.gap;
-            let (map_n, map_dur) =
-                batch_tasks(rj.map_tasks, rj.map_task_time, self.config.max_tasks_per_job);
+            let (map_n, map_dur) = batch_tasks(
+                rj.map_tasks,
+                rj.map_task_time,
+                self.config.max_tasks_per_job,
+            );
             let (red_n, red_dur) = batch_tasks(
                 rj.reduce_tasks,
                 rj.reduce_task_time,
@@ -212,7 +213,12 @@ impl Simulator {
                         slots.release_reduce();
                     }
                     maybe_finish(
-                        job, &mut jobs, &mut scheduler, &mut hdfs, &mut outcomes, now,
+                        job,
+                        &mut jobs,
+                        &mut scheduler,
+                        &mut hdfs,
+                        &mut outcomes,
+                        now,
                     );
                 }
             }
@@ -280,7 +286,10 @@ fn dispatch(
                     js.running_map += got;
                     js.first_start.get_or_insert(now);
                     for _ in 0..got {
-                        queue.push(now + js.map_task_dur, Event::TaskFinish { job, is_map: true });
+                        queue.push(
+                            now + js.map_task_dur,
+                            Event::TaskFinish { job, is_map: true },
+                        );
                     }
                     granted_any = true;
                 }
@@ -354,7 +363,11 @@ mod tests {
         ReplayJob {
             gap: Dur::from_secs(gap),
             input: DataSize::from_mb(64),
-            shuffle: if reds > 0 { DataSize::from_mb(8) } else { DataSize::ZERO },
+            shuffle: if reds > 0 {
+                DataSize::from_mb(8)
+            } else {
+                DataSize::ZERO
+            },
             output: DataSize::from_mb(8),
             map_task_time: Dur::from_secs(map_secs),
             reduce_task_time: Dur::from_secs(red_secs),
@@ -364,7 +377,11 @@ mod tests {
     }
 
     fn plan(jobs: Vec<ReplayJob>) -> ReplayPlan {
-        ReplayPlan { name: "test".into(), machines: 2, jobs }
+        ReplayPlan {
+            name: "test".into(),
+            machines: 2,
+            jobs,
+        }
     }
 
     #[test]
@@ -443,9 +460,8 @@ mod tests {
     fn cache_hits_on_shared_input() {
         let p = plan(vec![replay_job(0, 1, 1, 0, 0), replay_job(5, 1, 1, 0, 0)]);
         let shared = [PathId(7), PathId(7)];
-        let sim = Simulator::new(
-            SimConfig::new(2).with_cache(CachePolicy::Lru, DataSize::from_gb(1)),
-        );
+        let sim =
+            Simulator::new(SimConfig::new(2).with_cache(CachePolicy::Lru, DataSize::from_gb(1)));
         let r = sim.run(&p, Some(&shared));
         let stats = r.cache.unwrap();
         assert_eq!(stats.hits, 1);
@@ -455,9 +471,8 @@ mod tests {
     #[test]
     fn private_inputs_never_hit() {
         let p = plan(vec![replay_job(0, 1, 1, 0, 0), replay_job(5, 1, 1, 0, 0)]);
-        let sim = Simulator::new(
-            SimConfig::new(2).with_cache(CachePolicy::Lru, DataSize::from_gb(1)),
-        );
+        let sim =
+            Simulator::new(SimConfig::new(2).with_cache(CachePolicy::Lru, DataSize::from_gb(1)));
         let r = sim.run(&p, None);
         assert_eq!(r.cache.unwrap().hits, 0);
     }

@@ -84,7 +84,11 @@ impl EventQueue {
     /// Schedule `event` at time `at`.
     pub fn push(&mut self, at: Timestamp, event: Event) {
         self.seq += 1;
-        self.heap.push(QueuedEvent { at, seq: self.seq, event });
+        self.heap.push(QueuedEvent {
+            at,
+            seq: self.seq,
+            event,
+        });
     }
 
     /// Pop the earliest event, if any.
@@ -129,7 +133,13 @@ mod tests {
         let mut q = EventQueue::new();
         let t = Timestamp::from_secs(5);
         q.push(t, Event::JobSubmit { job: 1 });
-        q.push(t, Event::TaskFinish { job: 0, is_map: true });
+        q.push(
+            t,
+            Event::TaskFinish {
+                job: 0,
+                is_map: true,
+            },
+        );
         let (_, first) = q.pop().unwrap();
         assert!(matches!(first, Event::TaskFinish { .. }));
     }
@@ -148,10 +158,28 @@ mod tests {
     fn map_finishes_before_reduce_finishes() {
         let mut q = EventQueue::new();
         let t = Timestamp::from_secs(1);
-        q.push(t, Event::TaskFinish { job: 0, is_map: false });
-        q.push(t, Event::TaskFinish { job: 0, is_map: true });
+        q.push(
+            t,
+            Event::TaskFinish {
+                job: 0,
+                is_map: false,
+            },
+        );
+        q.push(
+            t,
+            Event::TaskFinish {
+                job: 0,
+                is_map: true,
+            },
+        );
         let (_, first) = q.pop().unwrap();
-        assert_eq!(first, Event::TaskFinish { job: 0, is_map: true });
+        assert_eq!(
+            first,
+            Event::TaskFinish {
+                job: 0,
+                is_map: true
+            }
+        );
     }
 
     #[test]
@@ -170,7 +198,9 @@ mod tests {
             for i in 0..100 {
                 q.push(
                     Timestamp::from_secs(i % 10),
-                    Event::JobSubmit { job: (i * 7 % 13) as usize },
+                    Event::JobSubmit {
+                        job: (i * 7 % 13) as usize,
+                    },
                 );
             }
             std::iter::from_fn(move || q.pop()).collect::<Vec<_>>()

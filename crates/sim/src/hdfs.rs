@@ -17,7 +17,10 @@ pub struct HdfsConfig {
 
 impl Default for HdfsConfig {
     fn default() -> Self {
-        HdfsConfig { block_size: DataSize::from_mb(128), replication: 3 }
+        HdfsConfig {
+            block_size: DataSize::from_mb(128),
+            replication: 3,
+        }
     }
 }
 
@@ -146,8 +149,8 @@ mod tests {
 
     #[test]
     fn cached_reads_hit_after_first_touch() {
-        let mut fs = Hdfs::new(HdfsConfig::default())
-            .with_cache(CachePolicy::Lru, DataSize::from_gb(1));
+        let mut fs =
+            Hdfs::new(HdfsConfig::default()).with_cache(CachePolicy::Lru, DataSize::from_gb(1));
         fs.write(PathId(1), DataSize::from_mb(10), ts(0));
         assert!(!fs.read(PathId(1), DataSize::ZERO, ts(1)));
         assert!(fs.read(PathId(1), DataSize::ZERO, ts(2)));
@@ -157,8 +160,8 @@ mod tests {
 
     #[test]
     fn overwrite_invalidates_cache() {
-        let mut fs = Hdfs::new(HdfsConfig::default())
-            .with_cache(CachePolicy::Lru, DataSize::from_gb(1));
+        let mut fs =
+            Hdfs::new(HdfsConfig::default()).with_cache(CachePolicy::Lru, DataSize::from_gb(1));
         fs.write(PathId(1), DataSize::from_mb(10), ts(0));
         fs.read(PathId(1), DataSize::ZERO, ts(1)); // miss, admits
         fs.write(PathId(1), DataSize::from_mb(20), ts(2)); // invalidates
@@ -168,7 +171,10 @@ mod tests {
 
     #[test]
     fn replication_multiplies_raw_bytes() {
-        let mut fs = Hdfs::new(HdfsConfig { replication: 3, ..Default::default() });
+        let mut fs = Hdfs::new(HdfsConfig {
+            replication: 3,
+            ..Default::default()
+        });
         fs.write(PathId(1), DataSize::from_gb(1), ts(0));
         assert_eq!(fs.bytes_stored(), DataSize::from_gb(1));
         assert_eq!(fs.raw_bytes_stored(), DataSize::from_gb(3));

@@ -29,7 +29,10 @@ pub struct Scheduler {
 impl Scheduler {
     /// Empty scheduler of the given kind.
     pub fn new(kind: SchedulerKind) -> Self {
-        Scheduler { kind, runnable: VecDeque::new() }
+        Scheduler {
+            kind,
+            runnable: VecDeque::new(),
+        }
     }
 
     /// The policy.

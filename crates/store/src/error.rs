@@ -1,0 +1,84 @@
+//! Error type for store encoding, decoding, and I/O.
+
+use std::fmt;
+use swim_trace::TraceError;
+
+/// Errors produced while writing or reading a columnar trace store.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The byte stream ended inside a structure.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A structural invariant of the format was violated.
+    Corrupt {
+        /// What was violated.
+        context: &'static str,
+    },
+    /// The file carries a format version this build does not read.
+    UnsupportedVersion(u16),
+    /// A trace-level failure while rebuilding [`swim_trace::Trace`].
+    Trace(TraceError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Truncated { context } => {
+                write!(f, "truncated store: {context}")
+            }
+            StoreError::Corrupt { context } => write!(f, "corrupt store: {context}"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported store format version {v}")
+            }
+            StoreError::Trace(e) => write!(f, "store trace error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<TraceError> for StoreError {
+    fn from(e: TraceError) -> Self {
+        StoreError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(StoreError::Truncated { context: "x" }
+            .to_string()
+            .contains("x"));
+        assert!(StoreError::Corrupt { context: "y" }
+            .to_string()
+            .contains("y"));
+        assert!(StoreError::UnsupportedVersion(9).to_string().contains('9'));
+        let io = StoreError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        use std::error::Error as _;
+        assert!(io.source().is_some());
+    }
+}

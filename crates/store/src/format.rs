@@ -1,0 +1,668 @@
+//! On-disk layout of the `swim-store` columnar trace format.
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────────────────────┐
+//! │ Header   "SWIMCOL1" u16 version  u8 kind  u8 flags             │
+//! │          u32 machines  u32 jobs_per_chunk                      │
+//! │          u32 custom_len + custom kind label bytes              │
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ Chunk 0  "SCHK" u32 job_count  u64 payload_len                 │
+//! │          payload: 13 column blocks, delta+varint encoded       │
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ Chunk 1 …                                                      │
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ Footer   "SFTR" u32 chunk_count                                │
+//! │          per chunk: u64 offset, u64 block_len, u64 job_count,  │
+//! │                     u64 min_submit, u64 max_submit             │
+//! │          summary: u64 jobs, u64 bytes_moved, u64 task_time,    │
+//! │                   u64 min_submit, u64 max_submit               │
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ Trailer  u64 footer_offset  "SWIMEND1"                         │
+//! └────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! All fixed-width integers are little-endian. Per-chunk `min`/`max`
+//! submit times let readers skip chunks wholesale for time-range queries;
+//! the footer summary makes [`TraceSummary`]-style statistics O(1).
+
+use crate::varint;
+use crate::StoreError;
+use swim_trace::trace::WorkloadKind;
+use swim_trace::{DataSize, Dur, Timestamp, TraceSummary};
+
+/// File magic, first eight bytes.
+pub const FILE_MAGIC: [u8; 8] = *b"SWIMCOL1";
+/// Trailer magic, last eight bytes of the file.
+pub const END_MAGIC: [u8; 8] = *b"SWIMEND1";
+/// Chunk block magic.
+pub const CHUNK_MAGIC: u32 = u32::from_le_bytes(*b"SCHK");
+/// Footer magic.
+pub const FOOTER_MAGIC: u32 = u32::from_le_bytes(*b"SFTR");
+/// Format version written by this build.
+pub const VERSION: u16 = 1;
+/// Size of the fixed trailer (footer offset + magic).
+pub const TRAILER_LEN: usize = 16;
+/// Size of each chunk block's fixed header ("SCHK", count, payload_len).
+pub const CHUNK_HEADER_LEN: usize = 16;
+
+/// Default number of jobs per chunk: small enough that a chunk of the
+/// widest real traces decodes in well under a millisecond, large enough
+/// that a million-job trace stays at a few hundred chunks.
+pub const DEFAULT_JOBS_PER_CHUNK: u32 = 4096;
+
+/// Parsed file header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Header {
+    /// Format version.
+    pub version: u16,
+    /// Which workload the stored trace represents.
+    pub kind: WorkloadKind,
+    /// Nominal cluster size.
+    pub machines: u32,
+    /// Chunking granularity the file was written with.
+    pub jobs_per_chunk: u32,
+}
+
+fn kind_tag(kind: &WorkloadKind) -> u8 {
+    match kind {
+        WorkloadKind::CcA => 0,
+        WorkloadKind::CcB => 1,
+        WorkloadKind::CcC => 2,
+        WorkloadKind::CcD => 3,
+        WorkloadKind::CcE => 4,
+        WorkloadKind::Fb2009 => 5,
+        WorkloadKind::Fb2010 => 6,
+        WorkloadKind::Custom(_) => 7,
+    }
+}
+
+fn kind_from_tag(tag: u8, custom: String) -> Result<WorkloadKind, StoreError> {
+    Ok(match tag {
+        0 => WorkloadKind::CcA,
+        1 => WorkloadKind::CcB,
+        2 => WorkloadKind::CcC,
+        3 => WorkloadKind::CcD,
+        4 => WorkloadKind::CcE,
+        5 => WorkloadKind::Fb2009,
+        6 => WorkloadKind::Fb2010,
+        7 => WorkloadKind::Custom(custom),
+        _ => {
+            return Err(StoreError::Corrupt {
+                context: "unknown workload kind tag",
+            })
+        }
+    })
+}
+
+impl Header {
+    /// Serialize the header (variable length when the kind is custom).
+    pub fn encode(&self) -> Vec<u8> {
+        let custom = match &self.kind {
+            WorkloadKind::Custom(name) => name.as_bytes(),
+            _ => &[],
+        };
+        let mut out = Vec::with_capacity(24 + custom.len());
+        out.extend_from_slice(&FILE_MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.push(kind_tag(&self.kind));
+        out.push(0); // flags, reserved
+        out.extend_from_slice(&self.machines.to_le_bytes());
+        out.extend_from_slice(&self.jobs_per_chunk.to_le_bytes());
+        out.extend_from_slice(&(custom.len() as u32).to_le_bytes());
+        out.extend_from_slice(custom);
+        out
+    }
+
+    /// Parse a header from the start of `bytes`.
+    pub fn decode(bytes: &[u8]) -> Result<Header, StoreError> {
+        let mut r = Reader::new(bytes);
+        if r.take(8)? != FILE_MAGIC {
+            return Err(StoreError::Corrupt {
+                context: "bad file magic",
+            });
+        }
+        let version = u16::from_le_bytes(r.take(2)?.try_into().expect("len 2"));
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let tag = r.take(1)?[0];
+        let _flags = r.take(1)?[0];
+        let machines = u32::from_le_bytes(r.take(4)?.try_into().expect("len 4"));
+        let jobs_per_chunk = u32::from_le_bytes(r.take(4)?.try_into().expect("len 4"));
+        let custom_len = u32::from_le_bytes(r.take(4)?.try_into().expect("len 4"));
+        let custom = String::from_utf8(r.take(custom_len as usize)?.to_vec()).map_err(|_| {
+            StoreError::Corrupt {
+                context: "custom kind label not utf-8",
+            }
+        })?;
+        if tag != 7 && custom_len != 0 {
+            return Err(StoreError::Corrupt {
+                context: "custom label on non-custom kind",
+            });
+        }
+        Ok(Header {
+            version,
+            kind: kind_from_tag(tag, custom)?,
+            machines,
+            jobs_per_chunk,
+        })
+    }
+
+    /// Encoded length of this header.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+/// Footer entry describing one chunk: where it lives and what submit-time
+/// window it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Byte offset of the chunk block (its "SCHK" magic).
+    pub offset: u64,
+    /// Total block length, including the fixed chunk header.
+    pub block_len: u64,
+    /// Number of jobs in the chunk.
+    pub job_count: u64,
+    /// Smallest submit time in the chunk.
+    pub min_submit: Timestamp,
+    /// Largest submit time in the chunk.
+    pub max_submit: Timestamp,
+}
+
+/// Footer summary: whole-trace statistics computed at write time so that
+/// Table-1-style reporting needs no scan at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredSummary {
+    /// Total job count.
+    pub jobs: u64,
+    /// Σ (input + shuffle + output) over all jobs (saturating).
+    pub bytes_moved: DataSize,
+    /// Σ (map + reduce task-time) over all jobs (saturating).
+    pub task_time: Dur,
+    /// Earliest submit (meaningful only when `jobs > 0`).
+    pub min_submit: Timestamp,
+    /// Latest submit (meaningful only when `jobs > 0`).
+    pub max_submit: Timestamp,
+}
+
+impl StoredSummary {
+    /// Convert to the Table 1 row type, given the header's identity fields.
+    pub fn to_trace_summary(&self, kind: &WorkloadKind, machines: u32) -> TraceSummary {
+        let length = if self.jobs == 0 {
+            Dur::ZERO
+        } else {
+            self.max_submit.since(self.min_submit)
+        };
+        TraceSummary {
+            workload: kind.label().to_owned(),
+            machines,
+            length,
+            jobs: self.jobs as usize,
+            bytes_moved: self.bytes_moved,
+        }
+    }
+}
+
+/// Parsed footer: the chunk index plus the stored summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Footer {
+    /// Per-chunk index entries, in file order (non-decreasing min_submit).
+    pub chunks: Vec<ChunkMeta>,
+    /// Whole-trace statistics.
+    pub summary: StoredSummary,
+}
+
+impl Footer {
+    /// Serialize the footer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.chunks.len() * 40 + 40);
+        out.extend_from_slice(&FOOTER_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
+        for c in &self.chunks {
+            out.extend_from_slice(&c.offset.to_le_bytes());
+            out.extend_from_slice(&c.block_len.to_le_bytes());
+            out.extend_from_slice(&c.job_count.to_le_bytes());
+            out.extend_from_slice(&c.min_submit.secs().to_le_bytes());
+            out.extend_from_slice(&c.max_submit.secs().to_le_bytes());
+        }
+        let s = &self.summary;
+        out.extend_from_slice(&s.jobs.to_le_bytes());
+        out.extend_from_slice(&s.bytes_moved.bytes().to_le_bytes());
+        out.extend_from_slice(&s.task_time.secs().to_le_bytes());
+        out.extend_from_slice(&s.min_submit.secs().to_le_bytes());
+        out.extend_from_slice(&s.max_submit.secs().to_le_bytes());
+        out
+    }
+
+    /// Parse a footer from `bytes`.
+    pub fn decode(bytes: &[u8]) -> Result<Footer, StoreError> {
+        let mut r = Reader::new(bytes);
+        let magic = u32::from_le_bytes(r.take(4)?.try_into().expect("len 4"));
+        if magic != FOOTER_MAGIC {
+            return Err(StoreError::Corrupt {
+                context: "bad footer magic",
+            });
+        }
+        let count = u32::from_le_bytes(r.take(4)?.try_into().expect("len 4"));
+        // Each index entry is 40 bytes; reject counts the footer cannot
+        // possibly hold before reserving memory for them.
+        if count as usize > bytes.len().saturating_sub(8) / 40 {
+            return Err(StoreError::Corrupt {
+                context: "chunk count exceeds footer size",
+            });
+        }
+        let mut chunks = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            chunks.push(ChunkMeta {
+                offset: r.u64()?,
+                block_len: r.u64()?,
+                job_count: r.u64()?,
+                min_submit: Timestamp::from_secs(r.u64()?),
+                max_submit: Timestamp::from_secs(r.u64()?),
+            });
+        }
+        let summary = StoredSummary {
+            jobs: r.u64()?,
+            bytes_moved: DataSize::from_bytes(r.u64()?),
+            task_time: Dur::from_secs(r.u64()?),
+            min_submit: Timestamp::from_secs(r.u64()?),
+            max_submit: Timestamp::from_secs(r.u64()?),
+        };
+        Ok(Footer { chunks, summary })
+    }
+}
+
+/// Bounds-checked byte cursor for the fixed-width sections.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self.pos.checked_add(n).ok_or(StoreError::Truncated {
+            context: "length overflow in fixed section",
+        })?;
+        if end > self.bytes.len() {
+            return Err(StoreError::Truncated {
+                context: "fixed section runs past end",
+            });
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+}
+
+/// Encode one chunk's fixed header.
+pub fn encode_chunk_header(job_count: u32, payload_len: u64) -> [u8; CHUNK_HEADER_LEN] {
+    let mut out = [0u8; CHUNK_HEADER_LEN];
+    out[0..4].copy_from_slice(&CHUNK_MAGIC.to_le_bytes());
+    out[4..8].copy_from_slice(&job_count.to_le_bytes());
+    out[8..16].copy_from_slice(&payload_len.to_le_bytes());
+    out
+}
+
+/// Decode and validate a chunk block's fixed header; returns
+/// `(job_count, payload_len)`.
+pub fn decode_chunk_header(block: &[u8]) -> Result<(u32, u64), StoreError> {
+    if block.len() < CHUNK_HEADER_LEN {
+        return Err(StoreError::Truncated {
+            context: "chunk block shorter than header",
+        });
+    }
+    let magic = u32::from_le_bytes(block[0..4].try_into().expect("len 4"));
+    if magic != CHUNK_MAGIC {
+        return Err(StoreError::Corrupt {
+            context: "bad chunk magic",
+        });
+    }
+    let job_count = u32::from_le_bytes(block[4..8].try_into().expect("len 4"));
+    let payload_len = u64::from_le_bytes(block[8..16].try_into().expect("len 8"));
+    if payload_len != (block.len() - CHUNK_HEADER_LEN) as u64 {
+        return Err(StoreError::Corrupt {
+            context: "chunk payload length disagrees with index",
+        });
+    }
+    Ok((job_count, payload_len))
+}
+
+/// Encode the file trailer pointing at the footer.
+pub fn encode_trailer(footer_offset: u64) -> [u8; TRAILER_LEN] {
+    let mut out = [0u8; TRAILER_LEN];
+    out[0..8].copy_from_slice(&footer_offset.to_le_bytes());
+    out[8..16].copy_from_slice(&END_MAGIC);
+    out
+}
+
+/// Column payload codec for one chunk of jobs.
+pub mod columns {
+    use super::*;
+    use swim_trace::{Job, JobBuilder, PathId};
+
+    /// Encode the thirteen column blocks for `jobs` into `out`.
+    pub fn encode(out: &mut Vec<u8>, jobs: &[Job]) {
+        varint::put_delta_column(out, jobs.iter().map(|j| j.id.0));
+        varint::put_delta_column(out, jobs.iter().map(|j| j.submit.secs()));
+        varint::put_column(out, jobs.iter().map(|j| j.duration.secs()));
+        varint::put_column(out, jobs.iter().map(|j| j.input.bytes()));
+        varint::put_column(out, jobs.iter().map(|j| j.shuffle.bytes()));
+        varint::put_column(out, jobs.iter().map(|j| j.output.bytes()));
+        varint::put_column(out, jobs.iter().map(|j| j.map_task_time.secs()));
+        varint::put_column(out, jobs.iter().map(|j| j.reduce_task_time.secs()));
+        varint::put_column(out, jobs.iter().map(|j| u64::from(j.map_tasks)));
+        varint::put_column(out, jobs.iter().map(|j| u64::from(j.reduce_tasks)));
+        // Names: lengths then concatenated bytes.
+        varint::put_column(out, jobs.iter().map(|j| j.name.len() as u64));
+        for j in jobs {
+            out.extend_from_slice(j.name.as_bytes());
+        }
+        // Path lists: per-job counts then flattened ids.
+        for paths in [
+            jobs.iter().map(|j| &j.input_paths).collect::<Vec<_>>(),
+            jobs.iter().map(|j| &j.output_paths).collect::<Vec<_>>(),
+        ] {
+            varint::put_column(out, paths.iter().map(|p| p.len() as u64));
+            for p in &paths {
+                varint::put_column(out, p.iter().map(|id| id.0));
+            }
+        }
+    }
+
+    /// The ten numeric columns of one chunk, decoded without touching the
+    /// variable-width name/path columns that follow them in the layout.
+    ///
+    /// This is the projection the §4/§5 statistics fold over: because the
+    /// numeric columns are stored *first*, a statistics scan never walks —
+    /// let alone allocates — names or path lists.
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    pub struct NumericColumns {
+        /// Job ids.
+        pub ids: Vec<u64>,
+        /// Submit seconds (non-decreasing within a chunk).
+        pub submits: Vec<u64>,
+        /// Durations in seconds.
+        pub durations: Vec<u64>,
+        /// Input bytes.
+        pub inputs: Vec<u64>,
+        /// Shuffle bytes.
+        pub shuffles: Vec<u64>,
+        /// Output bytes.
+        pub outputs: Vec<u64>,
+        /// Map task-time seconds.
+        pub map_times: Vec<u64>,
+        /// Reduce task-time seconds.
+        pub reduce_times: Vec<u64>,
+        /// Map task counts.
+        pub map_tasks: Vec<u64>,
+        /// Reduce task counts.
+        pub reduce_tasks: Vec<u64>,
+    }
+
+    impl NumericColumns {
+        /// Number of jobs in the chunk.
+        pub fn len(&self) -> usize {
+            self.ids.len()
+        }
+
+        /// `true` iff the chunk is empty.
+        pub fn is_empty(&self) -> bool {
+            self.ids.is_empty()
+        }
+
+        /// Total I/O bytes of job `i` (input + shuffle + output),
+        /// saturating like [`Job::total_io`].
+        pub fn total_io(&self, i: usize) -> DataSize {
+            DataSize::from_bytes(self.inputs[i])
+                + DataSize::from_bytes(self.shuffles[i])
+                + DataSize::from_bytes(self.outputs[i])
+        }
+
+        /// Total task-time of job `i`, saturating like
+        /// [`Job::total_task_time`].
+        pub fn total_task_time(&self, i: usize) -> Dur {
+            Dur::from_secs(self.map_times[i]) + Dur::from_secs(self.reduce_times[i])
+        }
+    }
+
+    /// Decode only the numeric columns of a chunk payload (stopping before
+    /// the name/path columns).
+    pub fn decode_numeric(payload: &[u8], n: usize) -> Result<NumericColumns, StoreError> {
+        decode_numeric_at(payload, &mut 0, n)
+    }
+
+    fn decode_numeric_at(
+        payload: &[u8],
+        pos: &mut usize,
+        n: usize,
+    ) -> Result<NumericColumns, StoreError> {
+        Ok(NumericColumns {
+            ids: varint::get_delta_column(payload, pos, n)?,
+            submits: varint::get_delta_column(payload, pos, n)?,
+            durations: varint::get_column(payload, pos, n)?,
+            inputs: varint::get_column(payload, pos, n)?,
+            shuffles: varint::get_column(payload, pos, n)?,
+            outputs: varint::get_column(payload, pos, n)?,
+            map_times: varint::get_column(payload, pos, n)?,
+            reduce_times: varint::get_column(payload, pos, n)?,
+            map_tasks: varint::get_column(payload, pos, n)?,
+            reduce_tasks: varint::get_column(payload, pos, n)?,
+        })
+    }
+
+    /// Decode `n` jobs from a chunk payload.
+    pub fn decode(payload: &[u8], n: usize) -> Result<Vec<Job>, StoreError> {
+        let pos = &mut 0usize;
+        let NumericColumns {
+            ids,
+            submits,
+            durations,
+            inputs,
+            shuffles,
+            outputs,
+            map_times,
+            reduce_times,
+            map_tasks,
+            reduce_tasks,
+        } = decode_numeric_at(payload, pos, n)?;
+        let name_lens = varint::get_column(payload, pos, n)?;
+        let mut names = Vec::with_capacity(n);
+        for &len in &name_lens {
+            let len = usize::try_from(len).map_err(|_| StoreError::Corrupt {
+                context: "name length overflows usize",
+            })?;
+            let end = pos.checked_add(len).filter(|&e| e <= payload.len()).ok_or(
+                StoreError::Truncated {
+                    context: "name bytes run past chunk",
+                },
+            )?;
+            let name =
+                std::str::from_utf8(&payload[*pos..end]).map_err(|_| StoreError::Corrupt {
+                    context: "job name not utf-8",
+                })?;
+            names.push(name.to_owned());
+            *pos = end;
+        }
+        let mut path_lists = [Vec::new(), Vec::new()];
+        for lists in &mut path_lists {
+            let counts = varint::get_column(payload, pos, n)?;
+            for &count in &counts {
+                let count = usize::try_from(count).map_err(|_| StoreError::Corrupt {
+                    context: "path count overflows usize",
+                })?;
+                if count > payload.len() {
+                    // Each id takes at least one byte; anything larger than
+                    // the payload is corrupt, not just big.
+                    return Err(StoreError::Corrupt {
+                        context: "path count exceeds chunk payload",
+                    });
+                }
+                let ids = varint::get_column(payload, pos, count)?;
+                lists.push(ids.into_iter().map(PathId).collect::<Vec<_>>());
+            }
+        }
+        if *pos != payload.len() {
+            return Err(StoreError::Corrupt {
+                context: "trailing bytes after last column",
+            });
+        }
+        let [mut input_paths, mut output_paths] = path_lists;
+
+        let mut jobs = Vec::with_capacity(n);
+        for i in 0..n {
+            let map = u32::try_from(map_tasks[i]).map_err(|_| StoreError::Corrupt {
+                context: "map task count overflows u32",
+            })?;
+            let reduce = u32::try_from(reduce_tasks[i]).map_err(|_| StoreError::Corrupt {
+                context: "reduce task count overflows u32",
+            })?;
+            jobs.push(
+                JobBuilder::new(ids[i])
+                    .name(std::mem::take(&mut names[i]))
+                    .submit(Timestamp::from_secs(submits[i]))
+                    .duration(Dur::from_secs(durations[i]))
+                    .input(DataSize::from_bytes(inputs[i]))
+                    .shuffle(DataSize::from_bytes(shuffles[i]))
+                    .output(DataSize::from_bytes(outputs[i]))
+                    .map_task_time(Dur::from_secs(map_times[i]))
+                    .reduce_task_time(Dur::from_secs(reduce_times[i]))
+                    .tasks(map, reduce)
+                    .input_paths(std::mem::take(&mut input_paths[i]))
+                    .output_paths(std::mem::take(&mut output_paths[i]))
+                    .build_unchecked(),
+            );
+        }
+        Ok(jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip_paper_kind() {
+        let h = Header {
+            version: VERSION,
+            kind: WorkloadKind::Fb2010,
+            machines: 3000,
+            jobs_per_chunk: 512,
+        };
+        let bytes = h.encode();
+        assert_eq!(Header::decode(&bytes).unwrap(), h);
+        assert_eq!(bytes.len(), h.encoded_len());
+    }
+
+    #[test]
+    fn header_round_trip_custom_kind() {
+        let h = Header {
+            version: VERSION,
+            kind: WorkloadKind::Custom("täst+trace".into()),
+            machines: 7,
+            jobs_per_chunk: DEFAULT_JOBS_PER_CHUNK,
+        };
+        assert_eq!(Header::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_and_version() {
+        let h = Header {
+            version: VERSION,
+            kind: WorkloadKind::CcA,
+            machines: 1,
+            jobs_per_chunk: 1,
+        };
+        let mut bytes = h.encode();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Header::decode(&bytes),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let mut bytes = h.encode();
+        bytes[8] = 99;
+        assert!(matches!(
+            Header::decode(&bytes),
+            Err(StoreError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn footer_round_trip() {
+        let f = Footer {
+            chunks: vec![
+                ChunkMeta {
+                    offset: 24,
+                    block_len: 1000,
+                    job_count: 512,
+                    min_submit: Timestamp::from_secs(0),
+                    max_submit: Timestamp::from_secs(3599),
+                },
+                ChunkMeta {
+                    offset: 1024,
+                    block_len: 900,
+                    job_count: 311,
+                    min_submit: Timestamp::from_secs(3599),
+                    max_submit: Timestamp::from_secs(9000),
+                },
+            ],
+            summary: StoredSummary {
+                jobs: 823,
+                bytes_moved: DataSize::from_tb(2),
+                task_time: Dur::from_hours(900),
+                min_submit: Timestamp::from_secs(0),
+                max_submit: Timestamp::from_secs(9000),
+            },
+        };
+        assert_eq!(Footer::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn absurd_footer_chunk_count_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&FOOTER_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Footer::decode(&bytes),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn chunk_header_validates_length() {
+        let header = encode_chunk_header(5, 10);
+        let mut block = header.to_vec();
+        block.extend_from_slice(&[0u8; 10]);
+        assert_eq!(decode_chunk_header(&block).unwrap(), (5, 10));
+        block.push(0);
+        assert!(decode_chunk_header(&block).is_err());
+    }
+
+    #[test]
+    fn summary_to_table1_row() {
+        let s = StoredSummary {
+            jobs: 10,
+            bytes_moved: DataSize::from_gb(5),
+            task_time: Dur::from_hours(1),
+            min_submit: Timestamp::from_secs(100),
+            max_submit: Timestamp::from_secs(700),
+        };
+        let row = s.to_trace_summary(&WorkloadKind::CcB, 300);
+        assert_eq!(row.workload, "CC-b");
+        assert_eq!(row.length, Dur::from_secs(600));
+        assert_eq!(row.jobs, 10);
+        let empty = StoredSummary { jobs: 0, ..s };
+        assert_eq!(
+            empty.to_trace_summary(&WorkloadKind::CcB, 300).length,
+            Dur::ZERO
+        );
+    }
+}

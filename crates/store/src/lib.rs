@@ -1,0 +1,271 @@
+//! # swim-store
+//!
+//! A columnar, chunked, binary on-disk format for [`swim_trace::Trace`],
+//! built for the paper's core access pattern: whole-trace and time-window
+//! scans over multi-month, million-job histories (the FB-2009/FB-2010
+//! traces in Table 1 run past a million jobs each).
+//!
+//! Three layers:
+//!
+//! 1. **Codec** — [`write_store`] / [`Store`]: a little-endian layout
+//!    (header / chunks / footer / trailer, see [`format`]) with per-column
+//!    delta + LEB128-varint encoding. Round trips are bit-exact for every
+//!    [`swim_trace::Job`] field.
+//! 2. **Scans** — [`Store::scan`] streams chunks at bounded memory;
+//!    [`Store::scan_range`] uses per-chunk `[min, max]` submit windows to
+//!    skip irrelevant chunks without reading them; [`Store::par_scan`]
+//!    folds over chunks on all cores (work-claiming counter, per-worker
+//!    file handles).
+//! 3. **O(1) statistics** — the footer stores a whole-trace summary, so
+//!    [`Store::summary`] answers Table-1 questions without any scan, and
+//!    [`Store::par_summary`] recomputes it from data as the verification
+//!    path.
+//!
+//! ```
+//! use swim_store::{store_to_vec, Store, StoreOptions};
+//! use swim_trace::trace::WorkloadKind;
+//! use swim_trace::{DataSize, Dur, JobBuilder, Timestamp, Trace};
+//!
+//! let jobs = (0..10_000u64)
+//!     .map(|i| {
+//!         JobBuilder::new(i)
+//!             .submit(Timestamp::from_secs(i * 30))
+//!             .duration(Dur::from_secs(60))
+//!             .input(DataSize::from_mb(64))
+//!             .map_task_time(Dur::from_secs(120))
+//!             .tasks(2, 0)
+//!             .build()
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! let trace = Trace::new(WorkloadKind::Custom("demo".into()), 50, jobs).unwrap();
+//!
+//! // Encode, reopen, and answer questions without materializing the trace.
+//! let store = Store::from_vec(store_to_vec(&trace, &StoreOptions::default())).unwrap();
+//! assert_eq!(store.summary(), trace.summary());          // O(1), from the footer
+//! assert_eq!(store.par_summary().unwrap(), trace.summary()); // parallel re-scan
+//!
+//! // Chunk-skipping time-range scan: one hour out of ~83.
+//! let hour = store
+//!     .read_range(Timestamp::from_secs(0), Timestamp::from_secs(3600))
+//!     .unwrap();
+//! assert_eq!(hour.len(), 120);
+//! assert_eq!(store.read_trace().unwrap(), trace);        // bit-exact round trip
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod format;
+pub mod store;
+pub mod varint;
+pub mod writer;
+
+pub use error::StoreError;
+pub use format::{ChunkMeta, StoredSummary, DEFAULT_JOBS_PER_CHUNK};
+pub use store::{ChunkScan, JobScan, Store};
+pub use writer::{store_to_vec, write_store, write_store_path, StoreOptions, StoreStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swim_trace::trace::WorkloadKind;
+    use swim_trace::{DataSize, Dur, JobBuilder, PathId, Timestamp, Trace};
+
+    fn varied_trace(n: u64) -> Trace {
+        let jobs = (0..n)
+            .map(|i| {
+                let mut b = JobBuilder::new(i)
+                    .name(format!("insert_{i}"))
+                    .submit(Timestamp::from_secs(i * 97 % 50_000))
+                    .duration(Dur::from_secs(1 + i % 399))
+                    .input(DataSize::from_bytes(i.wrapping_mul(0x9E3779B9) % (1 << 40)))
+                    .output(DataSize::from_bytes(i * 1000))
+                    .map_task_time(Dur::from_secs(5 + i % 100))
+                    .tasks(1 + (i % 30) as u32, (i % 3) as u32)
+                    .input_paths(vec![PathId(i % 50), PathId(i % 7)]);
+                if i % 3 > 0 {
+                    b = b
+                        .shuffle(DataSize::from_bytes(i * 13))
+                        .reduce_task_time(Dur::from_secs(2 + i % 55));
+                }
+                b.build().unwrap()
+            })
+            .collect();
+        Trace::new(WorkloadKind::Custom("varied".into()), 42, jobs).unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let trace = varied_trace(1_000);
+        for jobs_per_chunk in [1u32, 7, 128, 4096] {
+            let bytes = store_to_vec(&trace, &StoreOptions { jobs_per_chunk });
+            let store = Store::from_vec(bytes).unwrap();
+            assert_eq!(
+                store.read_trace().unwrap(),
+                trace,
+                "chunk size {jobs_per_chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_matches_in_memory_path() {
+        let trace = varied_trace(2_000);
+        let store =
+            Store::from_vec(store_to_vec(&trace, &StoreOptions { jobs_per_chunk: 64 })).unwrap();
+        assert_eq!(store.summary(), trace.summary());
+        assert_eq!(store.par_summary().unwrap(), trace.summary());
+        assert_eq!(store.job_count(), 2_000);
+        assert_eq!(store.chunk_count(), 2_000usize.div_ceil(64));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace::new(WorkloadKind::Fb2009, 600, vec![]).unwrap();
+        let store = Store::from_vec(store_to_vec(&trace, &StoreOptions::default())).unwrap();
+        assert_eq!(store.read_trace().unwrap(), trace);
+        assert_eq!(store.summary(), trace.summary());
+        assert_eq!(store.par_summary().unwrap(), trace.summary());
+        assert_eq!(store.chunk_count(), 0);
+    }
+
+    #[test]
+    fn range_scan_matches_select_range_and_skips_chunks() {
+        let trace = varied_trace(3_000);
+        let store =
+            Store::from_vec(store_to_vec(&trace, &StoreOptions { jobs_per_chunk: 50 })).unwrap();
+        let (from, to) = (Timestamp::from_secs(10_000), Timestamp::from_secs(20_000));
+        let expected = trace.select_range(from, to);
+        let got = store.read_range(from, to).unwrap();
+        assert_eq!(got.jobs(), expected.jobs());
+        let scan = store.scan_range(from, to).unwrap();
+        assert!(scan.skipped_chunks > 0, "range scan should skip chunks");
+        assert!(scan.selected_chunks() < store.chunk_count());
+    }
+
+    #[test]
+    fn file_backed_store_round_trips() {
+        let trace = varied_trace(500);
+        let dir = std::env::temp_dir().join(format!("swim-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("file_backed_round_trip.swim");
+        write_store_path(
+            &trace,
+            &path,
+            &StoreOptions {
+                jobs_per_chunk: 100,
+            },
+        )
+        .unwrap();
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.read_trace().unwrap(), trace);
+        assert_eq!(store.par_summary().unwrap(), trace.summary());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn par_scan_counts_every_job_once() {
+        let trace = varied_trace(4_321);
+        let store =
+            Store::from_vec(store_to_vec(&trace, &StoreOptions { jobs_per_chunk: 37 })).unwrap();
+        let count = store
+            .par_scan(|| 0u64, |acc, _| acc + 1, |a, b| a + b)
+            .unwrap();
+        assert_eq!(count, 4_321);
+        let in_range = store
+            .par_scan_range(
+                Timestamp::from_secs(0),
+                Timestamp::from_secs(25_000),
+                || 0u64,
+                |acc, _| acc + 1,
+                |a, b| a + b,
+            )
+            .unwrap();
+        assert_eq!(
+            in_range,
+            trace
+                .select_range(Timestamp::from_secs(0), Timestamp::from_secs(25_000))
+                .len() as u64
+        );
+    }
+
+    #[test]
+    fn job_scan_streams_all_jobs_in_order() {
+        let trace = varied_trace(700);
+        let store =
+            Store::from_vec(store_to_vec(&trace, &StoreOptions { jobs_per_chunk: 64 })).unwrap();
+        let jobs: Result<Vec<_>, _> = store.scan().unwrap().jobs().collect();
+        assert_eq!(jobs.unwrap(), trace.jobs());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let trace = varied_trace(300);
+        let bytes = store_to_vec(
+            &trace,
+            &StoreOptions {
+                jobs_per_chunk: 100,
+            },
+        );
+
+        // Flip a byte inside the first chunk's payload.
+        let mut corrupt = bytes.clone();
+        corrupt[60] ^= 0xFF;
+        match Store::from_vec(corrupt) {
+            // Either the index no longer lines up (caught at open) or the
+            // chunk fails to decode (caught at scan).
+            Err(_) => {}
+            Ok(store) => {
+                assert!(store.scan().unwrap().any(|c| c.is_err()));
+            }
+        }
+
+        // Truncate the trailer.
+        let truncated = bytes[..bytes.len() - 5].to_vec();
+        assert!(Store::from_vec(truncated).is_err());
+
+        // Damage the trailer magic.
+        let mut bad_end = bytes.clone();
+        let n = bad_end.len();
+        bad_end[n - 1] ^= 0xFF;
+        assert!(matches!(
+            Store::from_vec(bad_end),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn compression_beats_csv_on_size() {
+        let trace = varied_trace(5_000);
+        let bytes = store_to_vec(&trace, &StoreOptions::default());
+        let csv = swim_trace::io::to_csv_string(&trace).unwrap();
+        assert!(
+            bytes.len() < csv.len(),
+            "store {} bytes should undercut CSV {} bytes",
+            bytes.len(),
+            csv.len()
+        );
+    }
+
+    #[test]
+    fn paper_kind_and_machines_survive() {
+        let trace = Trace::new(
+            WorkloadKind::CcD,
+            450,
+            vec![JobBuilder::new(1)
+                .submit(Timestamp::from_secs(5))
+                .input(DataSize::from_gb(1))
+                .map_task_time(Dur::from_secs(9))
+                .tasks(3, 0)
+                .build()
+                .unwrap()],
+        )
+        .unwrap();
+        let store = Store::from_vec(store_to_vec(&trace, &StoreOptions::default())).unwrap();
+        assert_eq!(store.kind(), &WorkloadKind::CcD);
+        assert_eq!(store.machines(), 450);
+        assert_eq!(store.summary().workload, "CC-d");
+    }
+}

@@ -1,0 +1,606 @@
+//! Reading columnar trace stores: O(1) summaries from the footer,
+//! streaming chunk scans at bounded memory, time-range scans that skip
+//! chunks via the index, and a parallel fold over chunks.
+
+use crate::format::{self, ChunkMeta, Footer, Header, StoredSummary};
+use crate::StoreError;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use swim_trace::trace::WorkloadKind;
+use swim_trace::{DataSize, Dur, Job, Timestamp, Trace, TraceSummary};
+
+/// Where the store's bytes live.
+#[derive(Debug, Clone)]
+enum StoreSource {
+    /// On disk; every scan opens its own handle, so parallel workers never
+    /// contend on a shared file position.
+    File(PathBuf),
+    /// In memory (tests, benchmarks, network buffers).
+    Mem(Arc<[u8]>),
+}
+
+/// A per-scan read handle (owned file descriptor or shared slice).
+enum ReadHandle {
+    File(File),
+    Mem(Arc<[u8]>),
+}
+
+impl ReadHandle {
+    fn read_span(&mut self, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        let len_usize = usize::try_from(len).map_err(|_| StoreError::Corrupt {
+            context: "span length overflows usize",
+        })?;
+        match self {
+            ReadHandle::File(f) => {
+                let mut buf = vec![0u8; len_usize];
+                f.seek(SeekFrom::Start(offset))?;
+                f.read_exact(&mut buf)?;
+                Ok(buf)
+            }
+            ReadHandle::Mem(bytes) => {
+                let start = usize::try_from(offset).map_err(|_| StoreError::Truncated {
+                    context: "span offset past end of buffer",
+                })?;
+                let end = start
+                    .checked_add(len_usize)
+                    .filter(|&e| e <= bytes.len())
+                    .ok_or(StoreError::Truncated {
+                        context: "span runs past end of buffer",
+                    })?;
+                Ok(bytes[start..end].to_vec())
+            }
+        }
+    }
+}
+
+/// An opened columnar trace store: header + chunk index + stored summary.
+///
+/// Opening reads only the fixed header and the footer; job data is touched
+/// lazily by scans, so a multi-gigabyte store opens in microseconds.
+#[derive(Debug, Clone)]
+pub struct Store {
+    source: StoreSource,
+    header: Header,
+    chunks: Vec<ChunkMeta>,
+    summary: StoredSummary,
+}
+
+impl Store {
+    /// Open a store file, reading header and footer only.
+    pub fn open(path: impl AsRef<Path>) -> Result<Store, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let file_len = file.metadata()?.len();
+        let mut handle = ReadHandle::File(file);
+        Self::parse(StoreSource::File(path), &mut handle, file_len)
+    }
+
+    /// Open a store from an in-memory image.
+    pub fn from_vec(bytes: Vec<u8>) -> Result<Store, StoreError> {
+        Self::from_bytes(Arc::<[u8]>::from(bytes))
+    }
+
+    /// Open a store from shared in-memory bytes.
+    pub fn from_bytes(bytes: Arc<[u8]>) -> Result<Store, StoreError> {
+        let len = bytes.len() as u64;
+        let mut handle = ReadHandle::Mem(bytes.clone());
+        Self::parse(StoreSource::Mem(bytes), &mut handle, len)
+    }
+
+    fn parse(
+        source: StoreSource,
+        handle: &mut ReadHandle,
+        file_len: u64,
+    ) -> Result<Store, StoreError> {
+        let trailer_len = format::TRAILER_LEN as u64;
+        if file_len < trailer_len + 24 {
+            return Err(StoreError::Truncated {
+                context: "file shorter than header + trailer",
+            });
+        }
+        let trailer = handle.read_span(file_len - trailer_len, trailer_len)?;
+        if trailer[8..16] != format::END_MAGIC {
+            return Err(StoreError::Corrupt {
+                context: "bad trailer magic",
+            });
+        }
+        let footer_offset = u64::from_le_bytes(trailer[0..8].try_into().expect("len 8"));
+        if footer_offset >= file_len - trailer_len {
+            return Err(StoreError::Corrupt {
+                context: "footer offset past end of file",
+            });
+        }
+        let footer_bytes =
+            handle.read_span(footer_offset, file_len - trailer_len - footer_offset)?;
+        let Footer { chunks, summary } = Footer::decode(&footer_bytes)?;
+
+        // Header: fixed 24 bytes, then the custom-kind label if present.
+        let fixed = handle.read_span(0, 24)?;
+        let custom_len = u64::from(u32::from_le_bytes(fixed[20..24].try_into().expect("len 4")));
+        if custom_len >= file_len {
+            return Err(StoreError::Corrupt {
+                context: "custom kind label longer than file",
+            });
+        }
+        let header_bytes = handle.read_span(0, 24 + custom_len)?;
+        let header = Header::decode(&header_bytes)?;
+
+        // Index sanity: chunks must lie between header and footer, in
+        // order, and account for every job in the summary. The per-chunk
+        // job-count-vs-length check also bounds `summary.jobs` by the file
+        // size, so later `with_capacity(jobs)` calls cannot be driven to
+        // absurd sizes by a crafted footer.
+        let mut expected_offset = 24 + custom_len;
+        let mut jobs_total = 0u64;
+        for c in &chunks {
+            if c.offset != expected_offset {
+                return Err(StoreError::Corrupt {
+                    context: "chunk offsets not contiguous",
+                });
+            }
+            expected_offset = c
+                .offset
+                .checked_add(c.block_len)
+                .ok_or(StoreError::Corrupt {
+                    context: "chunk length overflow",
+                })?;
+            if c.job_count > c.block_len {
+                // Every job occupies at least one byte per column.
+                return Err(StoreError::Corrupt {
+                    context: "chunk job count exceeds chunk length",
+                });
+            }
+            jobs_total += c.job_count;
+        }
+        if expected_offset != footer_offset {
+            return Err(StoreError::Corrupt {
+                context: "chunks do not abut the footer",
+            });
+        }
+        if jobs_total != summary.jobs {
+            return Err(StoreError::Corrupt {
+                context: "summary job count disagrees with chunk index",
+            });
+        }
+        Ok(Store {
+            source,
+            header,
+            chunks,
+            summary,
+        })
+    }
+
+    /// Workload identity of the stored trace.
+    pub fn kind(&self) -> &WorkloadKind {
+        &self.header.kind
+    }
+
+    /// Nominal cluster size of the stored trace.
+    pub fn machines(&self) -> u32 {
+        self.header.machines
+    }
+
+    /// Total number of stored jobs (from the footer; no scan).
+    pub fn job_count(&self) -> u64 {
+        self.summary.jobs
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The chunk index (offsets, job counts, submit-time windows).
+    pub fn chunk_meta(&self) -> &[ChunkMeta] {
+        &self.chunks
+    }
+
+    /// The summary stored in the footer.
+    pub fn stored_summary(&self) -> &StoredSummary {
+        &self.summary
+    }
+
+    /// The Table 1 row for the stored trace, read from the footer in O(1).
+    pub fn summary(&self) -> TraceSummary {
+        self.summary
+            .to_trace_summary(&self.header.kind, self.header.machines)
+    }
+
+    fn new_handle(&self) -> Result<ReadHandle, StoreError> {
+        Ok(match &self.source {
+            StoreSource::File(path) => ReadHandle::File(File::open(path)?),
+            StoreSource::Mem(bytes) => ReadHandle::Mem(bytes.clone()),
+        })
+    }
+
+    fn read_chunk_with(&self, handle: &mut ReadHandle, idx: usize) -> Result<Vec<Job>, StoreError> {
+        let meta = &self.chunks[idx];
+        let block = handle.read_span(meta.offset, meta.block_len)?;
+        let (job_count, _payload_len) = format::decode_chunk_header(&block)?;
+        if u64::from(job_count) != meta.job_count {
+            return Err(StoreError::Corrupt {
+                context: "chunk job count disagrees with index",
+            });
+        }
+        format::columns::decode(&block[format::CHUNK_HEADER_LEN..], job_count as usize)
+    }
+
+    /// Decode one chunk by index.
+    pub fn read_chunk(&self, idx: usize) -> Result<Vec<Job>, StoreError> {
+        assert!(idx < self.chunks.len(), "chunk index out of range");
+        let mut handle = self.new_handle()?;
+        self.read_chunk_with(&mut handle, idx)
+    }
+
+    /// Stream every chunk in order. Memory stays bounded by one chunk.
+    pub fn scan(&self) -> Result<ChunkScan<'_>, StoreError> {
+        let selected = (0..self.chunks.len()).collect();
+        Ok(ChunkScan {
+            store: self,
+            handle: self.new_handle()?,
+            selected,
+            next: 0,
+            range: None,
+            skipped_chunks: 0,
+        })
+    }
+
+    /// Stream jobs submitted in `[from, to)`, skipping chunks whose
+    /// `[min, max]` submit window falls outside the range.
+    pub fn scan_range(&self, from: Timestamp, to: Timestamp) -> Result<ChunkScan<'_>, StoreError> {
+        let selected: Vec<usize> = (0..self.chunks.len())
+            .filter(|&i| {
+                let m = &self.chunks[i];
+                m.max_submit >= from && m.min_submit < to
+            })
+            .collect();
+        let skipped = self.chunks.len() - selected.len();
+        Ok(ChunkScan {
+            store: self,
+            handle: self.new_handle()?,
+            selected,
+            next: 0,
+            range: Some((from, to)),
+            skipped_chunks: skipped,
+        })
+    }
+
+    /// Rebuild the full trace (materializes every job).
+    pub fn read_trace(&self) -> Result<Trace, StoreError> {
+        let mut jobs = Vec::with_capacity(self.summary.jobs as usize);
+        for chunk in self.scan()? {
+            jobs.extend(chunk?);
+        }
+        Ok(Trace::new_unchecked(
+            self.header.kind.clone(),
+            self.header.machines,
+            jobs,
+        ))
+    }
+
+    /// Rebuild only the jobs submitted in `[from, to)` as a trace,
+    /// skipping non-overlapping chunks entirely.
+    pub fn read_range(&self, from: Timestamp, to: Timestamp) -> Result<Trace, StoreError> {
+        let mut jobs = Vec::new();
+        for chunk in self.scan_range(from, to)? {
+            jobs.extend(chunk?);
+        }
+        Ok(Trace::new_unchecked(
+            self.header.kind.clone(),
+            self.header.machines,
+            jobs,
+        ))
+    }
+
+    /// Parallel fold over all chunks.
+    ///
+    /// Workers claim chunks from a shared counter, decode them with their
+    /// own read handle, and fold jobs with `fold`; per-worker accumulators
+    /// are combined with `merge`. Chunk visit order is unspecified, so
+    /// `fold`/`merge` must compute an order-insensitive result (sums,
+    /// counts, extrema — everything the §4/§5 statistics need).
+    pub fn par_scan<T, I, F, M>(&self, init: I, fold: F, merge: M) -> Result<T, StoreError>
+    where
+        T: Send,
+        I: Fn() -> T + Send + Sync,
+        F: Fn(T, &Job) -> T + Send + Sync,
+        M: Fn(T, T) -> T,
+    {
+        self.par_scan_chunks(None, init, fold, merge)
+    }
+
+    /// Parallel fold over the chunks overlapping `[from, to)`, folding
+    /// only jobs inside the range.
+    pub fn par_scan_range<T, I, F, M>(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+        init: I,
+        fold: F,
+        merge: M,
+    ) -> Result<T, StoreError>
+    where
+        T: Send,
+        I: Fn() -> T + Send + Sync,
+        F: Fn(T, &Job) -> T + Send + Sync,
+        M: Fn(T, T) -> T,
+    {
+        self.par_scan_chunks(Some((from, to)), init, fold, merge)
+    }
+
+    fn par_scan_chunks<T, I, F, M>(
+        &self,
+        range: Option<(Timestamp, Timestamp)>,
+        init: I,
+        fold: F,
+        merge: M,
+    ) -> Result<T, StoreError>
+    where
+        T: Send,
+        I: Fn() -> T + Send + Sync,
+        F: Fn(T, &Job) -> T + Send + Sync,
+        M: Fn(T, T) -> T,
+    {
+        self.par_fold_payloads(
+            range,
+            init,
+            |mut acc, _idx, job_count, payload| {
+                let jobs = format::columns::decode(payload, job_count)?;
+                for job in &jobs {
+                    if let Some((from, to)) = range {
+                        if job.submit < from || job.submit >= to {
+                            continue;
+                        }
+                    }
+                    acc = fold(acc, job);
+                }
+                Ok(acc)
+            },
+            merge,
+        )
+    }
+
+    /// Parallel fold over chunks as *numeric column projections*: only the
+    /// ten numeric columns are decoded (they are laid out before names and
+    /// paths, which are never touched), so statistics scans run without a
+    /// single per-job allocation. This is the fast path behind
+    /// [`Store::par_summary`].
+    pub fn par_scan_columns<T, I, F, M>(&self, init: I, fold: F, merge: M) -> Result<T, StoreError>
+    where
+        T: Send,
+        I: Fn() -> T + Send + Sync,
+        F: Fn(T, &format::columns::NumericColumns) -> T + Send + Sync,
+        M: Fn(T, T) -> T,
+    {
+        self.par_fold_payloads(
+            None,
+            init,
+            |acc, _idx, job_count, payload| {
+                let cols = format::columns::decode_numeric(payload, job_count)?;
+                Ok(fold(acc, &cols))
+            },
+            merge,
+        )
+    }
+
+    /// Shared worker pool: claims chunks off a counter, hands each chunk's
+    /// raw payload to `fold_payload`, merges per-worker accumulators.
+    fn par_fold_payloads<T, I, FP, M>(
+        &self,
+        range: Option<(Timestamp, Timestamp)>,
+        init: I,
+        fold_payload: FP,
+        merge: M,
+    ) -> Result<T, StoreError>
+    where
+        T: Send,
+        I: Fn() -> T + Send + Sync,
+        FP: Fn(T, usize, usize, &[u8]) -> Result<T, StoreError> + Send + Sync,
+        M: Fn(T, T) -> T,
+    {
+        let selected: Vec<usize> = match range {
+            None => (0..self.chunks.len()).collect(),
+            Some((from, to)) => (0..self.chunks.len())
+                .filter(|&i| {
+                    let m = &self.chunks[i];
+                    m.max_submit >= from && m.min_submit < to
+                })
+                .collect(),
+        };
+        if selected.is_empty() {
+            return Ok(init());
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(selected.len());
+        let cursor = AtomicUsize::new(0);
+        let selected = &selected;
+        let (init, fold_payload) = (&init, &fold_payload);
+        let worker_results: Vec<Result<T, StoreError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| -> Result<T, StoreError> {
+                        let mut handle = self.new_handle()?;
+                        let mut acc = init();
+                        loop {
+                            let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&idx) = selected.get(slot) else {
+                                break;
+                            };
+                            let meta = &self.chunks[idx];
+                            let block = handle.read_span(meta.offset, meta.block_len)?;
+                            let (job_count, _) = format::decode_chunk_header(&block)?;
+                            if u64::from(job_count) != meta.job_count {
+                                return Err(StoreError::Corrupt {
+                                    context: "chunk job count disagrees with index",
+                                });
+                            }
+                            acc = fold_payload(
+                                acc,
+                                idx,
+                                job_count as usize,
+                                &block[format::CHUNK_HEADER_LEN..],
+                            )?;
+                        }
+                        Ok(acc)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("par_scan worker panicked"))
+                .collect()
+        });
+        let mut merged: Option<T> = None;
+        for result in worker_results {
+            let value = result?;
+            merged = Some(match merged {
+                None => value,
+                Some(acc) => merge(acc, value),
+            });
+        }
+        Ok(merged.expect("at least one worker"))
+    }
+
+    /// Compute the Table 1 row by actually scanning every chunk in
+    /// parallel — the verification path for the footer's O(1) summary, and
+    /// the template for arbitrary `par_scan` statistics. Runs on the
+    /// numeric column projection, so no names or paths are ever decoded.
+    pub fn par_summary(&self) -> Result<TraceSummary, StoreError> {
+        #[derive(Clone, Copy)]
+        struct Acc {
+            jobs: u64,
+            bytes: DataSize,
+            min: Option<Timestamp>,
+            max: Option<Timestamp>,
+        }
+        let acc = self.par_scan_columns(
+            || Acc {
+                jobs: 0,
+                bytes: DataSize::ZERO,
+                min: None,
+                max: None,
+            },
+            |mut acc, cols| {
+                acc.jobs += cols.len() as u64;
+                for i in 0..cols.len() {
+                    acc.bytes += cols.total_io(i);
+                }
+                if let (Some(&first), Some(&last)) = (cols.submits.first(), cols.submits.last()) {
+                    // Submits are non-decreasing within a chunk, but take
+                    // a defensive min/max of the endpoints anyway.
+                    let (lo, hi) = (first.min(last), first.max(last));
+                    let (lo, hi) = (Timestamp::from_secs(lo), Timestamp::from_secs(hi));
+                    acc.min = Some(acc.min.map_or(lo, |m| m.min(lo)));
+                    acc.max = Some(acc.max.map_or(hi, |m| m.max(hi)));
+                }
+                acc
+            },
+            |a, b| Acc {
+                jobs: a.jobs + b.jobs,
+                bytes: a.bytes + b.bytes,
+                min: match (a.min, b.min) {
+                    (Some(x), Some(y)) => Some(x.min(y)),
+                    (x, y) => x.or(y),
+                },
+                max: match (a.max, b.max) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, y) => x.or(y),
+                },
+            },
+        )?;
+        let length = match (acc.min, acc.max) {
+            (Some(min), Some(max)) => max.since(min),
+            _ => Dur::ZERO,
+        };
+        Ok(TraceSummary {
+            workload: self.header.kind.label().to_owned(),
+            machines: self.header.machines,
+            length,
+            jobs: acc.jobs as usize,
+            bytes_moved: acc.bytes,
+        })
+    }
+}
+
+/// Streaming iterator over a store's (selected) chunks; yields each
+/// chunk's jobs already filtered to the scan's time range.
+pub struct ChunkScan<'s> {
+    store: &'s Store,
+    handle: ReadHandle,
+    selected: Vec<usize>,
+    next: usize,
+    range: Option<(Timestamp, Timestamp)>,
+    /// Chunks the index proved irrelevant for a range scan (skipped
+    /// without reading a byte of them).
+    pub skipped_chunks: usize,
+}
+
+impl<'s> ChunkScan<'s> {
+    /// How many chunks this scan will read (before filtering).
+    pub fn selected_chunks(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// Flatten into a per-job iterator.
+    pub fn jobs(self) -> JobScan<'s> {
+        JobScan {
+            scan: self,
+            buffer: Vec::new().into_iter(),
+        }
+    }
+}
+
+impl Iterator for ChunkScan<'_> {
+    type Item = Result<Vec<Job>, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let &idx = self.selected.get(self.next)?;
+            self.next += 1;
+            let meta = self.store.chunks[idx];
+            match self.store.read_chunk_with(&mut self.handle, idx) {
+                Ok(mut jobs) => {
+                    if let Some((from, to)) = self.range {
+                        // Boundary chunks need the per-job filter; fully
+                        // covered chunks pass through untouched.
+                        if meta.min_submit < from || meta.max_submit >= to {
+                            jobs.retain(|j| j.submit >= from && j.submit < to);
+                        }
+                    }
+                    if jobs.is_empty() {
+                        continue;
+                    }
+                    return Some(Ok(jobs));
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// Per-job streaming iterator (see [`ChunkScan::jobs`]).
+pub struct JobScan<'s> {
+    scan: ChunkScan<'s>,
+    buffer: std::vec::IntoIter<Job>,
+}
+
+impl Iterator for JobScan<'_> {
+    type Item = Result<Job, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(job) = self.buffer.next() {
+                return Some(Ok(job));
+            }
+            match self.scan.next()? {
+                Ok(jobs) => self.buffer = jobs.into_iter(),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}

@@ -148,7 +148,7 @@ mod tests {
         let ids: Vec<u64> = plan.files.iter().map(|f| f.path.0).collect();
         assert_eq!(ids.len(), 2);
         assert!(ids.contains(&5));
-        assert!(ids.iter().all(|&i| i == 5 || i > 5));
+        assert!(ids.iter().all(|&i| i >= 5));
     }
 
     #[test]
@@ -165,12 +165,7 @@ mod tests {
 
     #[test]
     fn zero_input_pathless_jobs_skipped() {
-        let t = Trace::new(
-            WorkloadKind::Custom("d".into()),
-            1,
-            vec![job(0, 0, vec![])],
-        )
-        .unwrap();
+        let t = Trace::new(WorkloadKind::Custom("d".into()), 1, vec![job(0, 0, vec![])]).unwrap();
         let plan = DataGenPlan::from_trace(&t, DataSize::from_mb(128));
         assert_eq!(plan.file_count(), 0);
     }

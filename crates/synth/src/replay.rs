@@ -107,14 +107,20 @@ impl ReplayPlan {
     /// touching data sizes — SWIM's knob for stress testing a cluster with
     /// the same job mix at higher intensity.
     pub fn accelerate(&self, factor: f64) -> ReplayPlan {
-        assert!(factor > 0.0 && factor.is_finite(), "factor must be positive");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "factor must be positive"
+        );
         ReplayPlan {
             name: format!("{}-x{factor:.2}", self.name),
             machines: self.machines,
             jobs: self
                 .jobs
                 .iter()
-                .map(|j| ReplayJob { gap: j.gap.scale(1.0 / factor), ..j.clone() })
+                .map(|j| ReplayJob {
+                    gap: j.gap.scale(1.0 / factor),
+                    ..j.clone()
+                })
                 .collect(),
         }
     }

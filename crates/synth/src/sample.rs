@@ -41,7 +41,10 @@ impl SampleConfig {
 pub fn sample_windows(trace: &Trace, config: SampleConfig) -> Trace {
     assert!(!trace.is_empty(), "cannot sample an empty trace");
     assert!(!config.window.is_zero(), "window must be positive");
-    assert!(!config.target_length.is_zero(), "target length must be positive");
+    assert!(
+        !config.target_length.is_zero(),
+        "target length must be positive"
+    );
 
     let start = trace.start().expect("non-empty");
     let span = trace.span();
@@ -60,8 +63,7 @@ pub fn sample_windows(trace: &Trace, config: SampleConfig) -> Trace {
     let mut next_id = 0u64;
     for draw in 0..n_draws {
         let w = rng.random_range(0..n_windows) as usize;
-        let window_start =
-            Timestamp::from_secs(start.secs() + w as u64 * config.window.secs());
+        let window_start = Timestamp::from_secs(start.secs() + w as u64 * config.window.secs());
         let out_base = draw * config.window.secs();
         for &idx in &buckets[w] {
             let job = &trace.jobs()[idx];

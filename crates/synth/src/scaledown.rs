@@ -41,12 +41,12 @@ pub struct ScaleConfig {
 /// per-job data patterns and lets the target cluster determine execution
 /// times; shrinking slot-seconds would double-count the smaller cluster.
 pub fn scale_trace(trace: &Trace, config: ScaleConfig) -> Trace {
-    assert!(config.target_machines > 0, "target cluster must be non-empty");
+    assert!(
+        config.target_machines > 0,
+        "target cluster must be non-empty"
+    );
     let ratio = config.target_machines as f64 / trace.machines.max(1) as f64;
-    let kind = WorkloadKind::Custom(format!(
-        "{}@{}nodes",
-        trace.kind, config.target_machines
-    ));
+    let kind = WorkloadKind::Custom(format!("{}@{}nodes", trace.kind, config.target_machines));
     match config.mode {
         ScaleMode::DataSize => {
             let jobs = trace
@@ -110,7 +110,11 @@ mod tests {
         let src = trace_with(600, 100);
         let out = scale_trace(
             &src,
-            ScaleConfig { target_machines: 60, mode: ScaleMode::DataSize, seed: 0 },
+            ScaleConfig {
+                target_machines: 60,
+                mode: ScaleMode::DataSize,
+                seed: 0,
+            },
         );
         assert_eq!(out.len(), 100);
         assert_eq!(out.machines, 60);
@@ -126,7 +130,11 @@ mod tests {
         let src = trace_with(600, 2_000);
         let out = scale_trace(
             &src,
-            ScaleConfig { target_machines: 60, mode: ScaleMode::JobCount, seed: 4 },
+            ScaleConfig {
+                target_machines: 60,
+                mode: ScaleMode::JobCount,
+                seed: 4,
+            },
         );
         let frac = out.len() as f64 / src.len() as f64;
         assert!((frac - 0.1).abs() < 0.03, "kept {frac}");
@@ -138,7 +146,11 @@ mod tests {
         let src = trace_with(100, 10);
         let out = scale_trace(
             &src,
-            ScaleConfig { target_machines: 200, mode: ScaleMode::DataSize, seed: 0 },
+            ScaleConfig {
+                target_machines: 200,
+                mode: ScaleMode::DataSize,
+                seed: 0,
+            },
         );
         assert_eq!(out.jobs()[0].input, DataSize::from_gb(20));
     }
@@ -148,7 +160,11 @@ mod tests {
         let src = trace_with(600, 500);
         let out = scale_trace(
             &src,
-            ScaleConfig { target_machines: 300, mode: ScaleMode::JobCount, seed: 1 },
+            ScaleConfig {
+                target_machines: 300,
+                mode: ScaleMode::JobCount,
+                seed: 1,
+            },
         );
         let ids: Vec<u64> = out.jobs().iter().map(|j| j.id.0).collect();
         let mut sorted = ids.clone();
@@ -161,7 +177,11 @@ mod tests {
         let src = trace_with(600, 50);
         let out = scale_trace(
             &src,
-            ScaleConfig { target_machines: 60, mode: ScaleMode::DataSize, seed: 0 },
+            ScaleConfig {
+                target_machines: 60,
+                mode: ScaleMode::DataSize,
+                seed: 0,
+            },
         );
         let ratio = out.bytes_moved().as_f64() / src.bytes_moved().as_f64();
         assert!((ratio - 0.1).abs() < 1e-6);
@@ -172,7 +192,11 @@ mod tests {
     fn zero_target_rejected() {
         scale_trace(
             &trace_with(10, 1),
-            ScaleConfig { target_machines: 0, mode: ScaleMode::DataSize, seed: 0 },
+            ScaleConfig {
+                target_machines: 0,
+                mode: ScaleMode::DataSize,
+                seed: 0,
+            },
         );
     }
 }

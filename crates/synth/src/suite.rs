@@ -93,8 +93,16 @@ mod tests {
     #[test]
     fn suite_accumulates_members() {
         let mut suite = WorkloadSuite::new();
-        suite.add_trace("cc-b", &tiny_trace(WorkloadKind::CcB, 5), DataSize::from_mb(128));
-        suite.add_trace("cc-e", &tiny_trace(WorkloadKind::CcE, 3), DataSize::from_mb(128));
+        suite.add_trace(
+            "cc-b",
+            &tiny_trace(WorkloadKind::CcB, 5),
+            DataSize::from_mb(128),
+        );
+        suite.add_trace(
+            "cc-e",
+            &tiny_trace(WorkloadKind::CcE, 3),
+            DataSize::from_mb(128),
+        );
         assert_eq!(suite.len(), 2);
         assert!(suite.get("cc-b").is_some());
         assert!(suite.get("nope").is_none());
@@ -103,8 +111,16 @@ mod tests {
     #[test]
     fn totals_sum_over_members() {
         let mut suite = WorkloadSuite::new();
-        suite.add_trace("a", &tiny_trace(WorkloadKind::CcA, 4), DataSize::from_mb(128));
-        suite.add_trace("b", &tiny_trace(WorkloadKind::CcB, 6), DataSize::from_mb(128));
+        suite.add_trace(
+            "a",
+            &tiny_trace(WorkloadKind::CcA, 4),
+            DataSize::from_mb(128),
+        );
+        suite.add_trace(
+            "b",
+            &tiny_trace(WorkloadKind::CcB, 6),
+            DataSize::from_mb(128),
+        );
         assert_eq!(suite.total_replay_bytes(), DataSize::from_mb(80));
         assert_eq!(suite.total_pregen_bytes(), DataSize::from_mb(80));
     }
@@ -112,7 +128,11 @@ mod tests {
     #[test]
     fn suite_serializes() {
         let mut suite = WorkloadSuite::new();
-        suite.add_trace("a", &tiny_trace(WorkloadKind::CcA, 2), DataSize::from_mb(64));
+        suite.add_trace(
+            "a",
+            &tiny_trace(WorkloadKind::CcA, 2),
+            DataSize::from_mb(64),
+        );
         let s = serde_json::to_string(&suite).unwrap();
         let back: WorkloadSuite = serde_json::from_str(&s).unwrap();
         assert_eq!(back, suite);

@@ -63,7 +63,10 @@ impl SynthesisReport {
     /// Compare `synth` against `original` on all six dimensions.
     /// Panics if either trace is empty.
     pub fn compare(original: &Trace, synth: &Trace) -> SynthesisReport {
-        assert!(!original.is_empty() && !synth.is_empty(), "traces must be non-empty");
+        assert!(
+            !original.is_empty() && !synth.is_empty(),
+            "traces must be non-empty"
+        );
         let dim = |f: &dyn Fn(&swim_trace::Job) -> f64, t: &Trace| -> Vec<f64> {
             t.jobs().iter().map(f).collect()
         };

@@ -33,7 +33,10 @@ pub enum TraceError {
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceError::InvalidJob { job: Some(id), reason } => {
+            TraceError::InvalidJob {
+                job: Some(id),
+                reason,
+            } => {
                 write!(f, "invalid job {id}: {reason}")
             }
             TraceError::InvalidJob { job: None, reason } => {
@@ -77,19 +80,28 @@ mod tests {
 
     #[test]
     fn display_includes_job_id() {
-        let e = TraceError::InvalidJob { job: Some(7), reason: "bad".into() };
+        let e = TraceError::InvalidJob {
+            job: Some(7),
+            reason: "bad".into(),
+        };
         assert_eq!(e.to_string(), "invalid job 7: bad");
     }
 
     #[test]
     fn display_without_job_id() {
-        let e = TraceError::InvalidJob { job: None, reason: "bad".into() };
+        let e = TraceError::InvalidJob {
+            job: None,
+            reason: "bad".into(),
+        };
         assert_eq!(e.to_string(), "invalid job: bad");
     }
 
     #[test]
     fn display_parse_line() {
-        let e = TraceError::Parse { line: 3, reason: "missing field".into() };
+        let e = TraceError::Parse {
+            line: 3,
+            reason: "missing field".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 

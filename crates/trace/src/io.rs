@@ -80,12 +80,20 @@ fn parse_csv_line(line: &str, lineno: usize) -> Result<Job, TraceError> {
             reason: format!("expected 13 fields, got {}", fields.len()),
         });
     }
-    let perr = |what: &str| TraceError::Parse {
+    let perr = |what: &str, value: &str| TraceError::Parse {
         line: lineno,
-        reason: format!("invalid {what}"),
+        reason: format!("invalid {what} {value:?}"),
     };
     let num = |s: &str, what: &str| -> Result<u64, TraceError> {
-        s.parse::<u64>().map_err(|_| perr(what))
+        s.parse::<u64>().map_err(|_| perr(what, s))
+    };
+    // Task counts are u32 in the schema; going through `as` would silently
+    // truncate oversized values into plausible-looking garbage.
+    let num32 = |s: &str, what: &str| -> Result<u32, TraceError> {
+        s.parse::<u32>().map_err(|_| TraceError::Parse {
+            line: lineno,
+            reason: format!("invalid {what} {s:?} (must fit in u32)"),
+        })
     };
     let job = JobBuilder::new(num(fields[0], "job_id")?)
         .name(unescape_name(fields[1]))
@@ -97,8 +105,8 @@ fn parse_csv_line(line: &str, lineno: usize) -> Result<Job, TraceError> {
         .map_task_time(Dur::from_secs(num(fields[7], "map_task_secs")?))
         .reduce_task_time(Dur::from_secs(num(fields[8], "reduce_task_secs")?))
         .tasks(
-            num(fields[9], "map_tasks")? as u32,
-            num(fields[10], "reduce_tasks")? as u32,
+            num32(fields[9], "map_tasks")?,
+            num32(fields[10], "reduce_tasks")?,
         )
         .input_paths(decode_paths(fields[11], lineno)?)
         .output_paths(decode_paths(fields[12], lineno)?)
@@ -134,10 +142,12 @@ fn decode_paths(s: &str, lineno: usize) -> Result<Vec<PathId>, TraceError> {
     }
     s.split(';')
         .map(|tok| {
-            tok.parse::<u64>().map(PathId).map_err(|_| TraceError::Parse {
-                line: lineno,
-                reason: format!("invalid path id {tok:?}"),
-            })
+            tok.parse::<u64>()
+                .map(PathId)
+                .map_err(|_| TraceError::Parse {
+                    line: lineno,
+                    reason: format!("invalid path id {tok:?}"),
+                })
         })
         .collect()
 }
@@ -164,9 +174,10 @@ pub fn write_jsonl<W: Write>(trace: &Trace, writer: W) -> Result<(), TraceError>
 pub fn read_jsonl<R: Read>(reader: R) -> Result<Trace, TraceError> {
     let r = BufReader::new(reader);
     let mut lines = r.lines();
-    let meta_line = lines
-        .next()
-        .ok_or_else(|| TraceError::Parse { line: 1, reason: "empty stream".into() })??;
+    let meta_line = lines.next().ok_or_else(|| TraceError::Parse {
+        line: 1,
+        reason: "empty stream".into(),
+    })??;
     #[derive(serde::Deserialize)]
     struct Meta {
         kind: WorkloadKind,
@@ -195,11 +206,7 @@ pub fn to_csv_string(trace: &Trace) -> Result<String, TraceError> {
 }
 
 /// Deserialize a trace from a CSV string (convenience).
-pub fn from_csv_string(
-    kind: WorkloadKind,
-    machines: u32,
-    s: &str,
-) -> Result<Trace, TraceError> {
+pub fn from_csv_string(kind: WorkloadKind, machines: u32, s: &str) -> Result<Trace, TraceError> {
     read_csv(kind, machines, s.as_bytes())
 }
 
@@ -280,6 +287,56 @@ mod tests {
     #[test]
     fn jsonl_rejects_empty_stream() {
         assert!(read_jsonl(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn csv_rejects_oversized_task_counts() {
+        // 2^32 + 2 would truncate to 2 under a silent `as u32` cast.
+        let over = (1u64 << 32) + 2;
+        let csv = format!("{CSV_HEADER}\n1,n,0,1,0,0,0,1,0,{over},0,,\n");
+        let err = from_csv_string(WorkloadKind::CcA, 1, &csv).unwrap_err();
+        match err {
+            TraceError::Parse { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("map_tasks"), "{reason}");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_rejects_unparseable_numerics_with_line_number() {
+        for (field_idx, what) in [
+            (0, "job_id"),
+            (2, "submit_secs"),
+            (4, "input_bytes"),
+            (10, "reduce_tasks"),
+        ] {
+            let mut fields = vec![
+                "1", "n", "0", "1", "0", "0", "0", "1", "0", "1", "0", "", "",
+            ];
+            fields[field_idx] = "12x";
+            let csv = format!("{CSV_HEADER}\n{}\n", fields.join(","));
+            let err = from_csv_string(WorkloadKind::CcA, 1, &csv).unwrap_err();
+            match err {
+                TraceError::Parse { line, reason } => {
+                    assert_eq!(line, 2);
+                    assert!(reason.contains(what), "{what}: {reason}");
+                }
+                other => panic!("expected Parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn csv_rejects_negative_and_float_numerics() {
+        for bad in ["-1", "1.5", " 7", ""] {
+            let csv = format!("{CSV_HEADER}\n1,n,{bad},1,0,0,0,1,0,1,0,,\n");
+            assert!(
+                from_csv_string(WorkloadKind::CcA, 1, &csv).is_err(),
+                "submit_secs {bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Numerical job key, unique within one trace.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct JobId(pub u64);
 
@@ -24,9 +22,7 @@ impl fmt::Display for JobId {
 /// conventions exactly as §6.1 does (Hive and Pig auto-generate names;
 /// Oozie launchers are identifiable; everything else is native MapReduce
 /// or unknown).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Framework {
     /// Hive query (names beginning `insert`, `select`, `from`, …).
     Hive,
@@ -40,8 +36,12 @@ pub enum Framework {
 
 impl Framework {
     /// All variants, in display order (Fig. 10 legend order).
-    pub const ALL: [Framework; 4] =
-        [Framework::Hive, Framework::Pig, Framework::Oozie, Framework::Native];
+    pub const ALL: [Framework; 4] = [
+        Framework::Hive,
+        Framework::Pig,
+        Framework::Oozie,
+        Framework::Native,
+    ];
 
     /// Short lowercase label.
     pub const fn label(self) -> &'static str {
@@ -150,7 +150,10 @@ impl Job {
     /// this before a job enters a [`crate::Trace`].
     pub fn validate(&self) -> Result<(), TraceError> {
         let fail = |reason: String| {
-            Err(TraceError::InvalidJob { job: Some(self.id.0), reason })
+            Err(TraceError::InvalidJob {
+                job: Some(self.id.0),
+                reason,
+            })
         };
         if self.map_tasks == 0 && self.reduce_tasks == 0 {
             return fail("job has zero tasks".into());

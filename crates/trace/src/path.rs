@@ -16,9 +16,7 @@ use std::sync::Arc;
 ///
 /// `PathId(u64)` rather than a string: the paper's traces ship hashed paths,
 /// and identity is all the data-access analysis (§4) consumes.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct PathId(pub u64);
 

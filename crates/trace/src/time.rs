@@ -284,7 +284,10 @@ mod tests {
     fn dur_display_matches_paper_style() {
         assert_eq!(Dur::from_secs(39).to_string(), "39 sec");
         assert_eq!(Dur::from_mins(4).to_string(), "4 min");
-        assert_eq!(Dur::from_secs(2 * HOUR + 30 * MINUTE).to_string(), "2 hrs 30 min");
+        assert_eq!(
+            Dur::from_secs(2 * HOUR + 30 * MINUTE).to_string(),
+            "2 hrs 30 min"
+        );
         assert_eq!(Dur::from_days(3).to_string(), "3 days");
         assert_eq!(Dur::from_hours(8).to_string(), "8 hrs");
     }

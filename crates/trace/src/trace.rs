@@ -77,11 +77,7 @@ pub struct Trace {
 impl Trace {
     /// Build a trace from jobs, sorting by submit time and validating each
     /// record. Duplicate job ids are rejected.
-    pub fn new(
-        kind: WorkloadKind,
-        machines: u32,
-        mut jobs: Vec<Job>,
-    ) -> Result<Self, TraceError> {
+    pub fn new(kind: WorkloadKind, machines: u32, mut jobs: Vec<Job>) -> Result<Self, TraceError> {
         for job in &jobs {
             job.validate()?;
         }
@@ -95,14 +91,22 @@ impl Trace {
                 )));
             }
         }
-        Ok(Trace { kind, machines, jobs })
+        Ok(Trace {
+            kind,
+            machines,
+            jobs,
+        })
     }
 
     /// Build without per-job validation (codecs validate separately; tests
     /// construct edge cases). Jobs are still sorted by submit time.
     pub fn new_unchecked(kind: WorkloadKind, machines: u32, mut jobs: Vec<Job>) -> Self {
         jobs.sort_by_key(|j| (j.submit, j.id));
-        Trace { kind, machines, jobs }
+        Trace {
+            kind,
+            machines,
+            jobs,
+        }
     }
 
     /// The jobs, in non-decreasing submit-time order.
@@ -168,7 +172,11 @@ impl Trace {
             .filter(|j| j.submit >= from && j.submit < to)
             .cloned()
             .collect();
-        Trace { kind: self.kind.clone(), machines: self.machines, jobs }
+        Trace {
+            kind: self.kind.clone(),
+            machines: self.machines,
+            jobs,
+        }
     }
 
     /// Drop jobs straddling the trace boundaries: any job whose execution
@@ -189,7 +197,11 @@ impl Trace {
             .filter(|j| j.submit >= lo && j.finish() <= hi)
             .cloned()
             .collect();
-        Trace { kind: self.kind.clone(), machines: self.machines, jobs }
+        Trace {
+            kind: self.kind.clone(),
+            machines: self.machines,
+            jobs,
+        }
     }
 
     /// The first full week of the trace (Fig. 7 analysis window), starting
@@ -297,7 +309,12 @@ mod tests {
     #[test]
     fn trim_boundaries_drops_straddlers() {
         // Job 2 finishes past end-margin; job 1 starts before start+margin.
-        let t = trace(vec![job(1, 0, 1), job(2, 95, 20), job(3, 50, 1), job(4, 100, 1)]);
+        let t = trace(vec![
+            job(1, 0, 1),
+            job(2, 95, 20),
+            job(3, 50, 1),
+            job(4, 100, 1),
+        ]);
         let trimmed = t.trim_boundaries(Dur::from_secs(10));
         let ids: Vec<u64> = trimmed.jobs().iter().map(|j| j.id.0).collect();
         assert_eq!(ids, vec![3]);
@@ -329,8 +346,10 @@ mod tests {
 
     #[test]
     fn workload_kind_labels_match_paper() {
-        let labels: Vec<&str> =
-            WorkloadKind::PAPER_SEVEN.iter().map(|k| k.label()).collect();
+        let labels: Vec<&str> = WorkloadKind::PAPER_SEVEN
+            .iter()
+            .map(|k| k.label())
+            .collect();
         assert_eq!(
             labels,
             vec!["CC-a", "CC-b", "CC-c", "CC-d", "CC-e", "FB-2009", "FB-2010"]

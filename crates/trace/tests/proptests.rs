@@ -8,14 +8,14 @@ use swim_trace::{DataSize, Dur, Job, JobBuilder, PathId, Timestamp, Trace};
 
 fn arb_job(id: u64) -> impl Strategy<Value = Job> {
     (
-        0u64..1_000_000_000,          // submit
-        1u64..100_000,                // duration
-        0u64..u32::MAX as u64,        // input
-        0u64..u32::MAX as u64,        // output
-        1u32..1000,                   // map tasks
-        0u32..100,                    // reduce tasks
+        0u64..1_000_000_000,                    // submit
+        1u64..100_000,                          // duration
+        0u64..u32::MAX as u64,                  // input
+        0u64..u32::MAX as u64,                  // output
+        1u32..1000,                             // map tasks
+        0u32..100,                              // reduce tasks
         prop::collection::vec(0u64..500, 0..4), // input paths
-        "[a-z]{0,12}",                // name
+        "[a-z]{0,12}",                          // name
     )
         .prop_map(move |(s, d, i, o, mt, rt, paths, name)| {
             let mut b = JobBuilder::new(id)

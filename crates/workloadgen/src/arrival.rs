@@ -40,7 +40,12 @@ impl ArrivalModel {
     /// A flat Poisson process (no diurnal, no bursts) — the baseline for
     /// the arrival-process ablation.
     pub fn flat(jobs_per_hour: f64) -> Self {
-        ArrivalModel { jobs_per_hour, diurnal_amplitude: 0.0, peak_hour: 0.0, burst_sigma: 0.0 }
+        ArrivalModel {
+            jobs_per_hour,
+            diurnal_amplitude: 0.0,
+            peak_hour: 0.0,
+            burst_sigma: 0.0,
+        }
     }
 
     /// Diurnal rate factor for a given absolute hour index (mean 1 over a day).
@@ -79,8 +84,7 @@ impl ArrivalModel {
         } else {
             None
         };
-        let mut out =
-            Vec::with_capacity((self.jobs_per_hour * hours as f64) as usize + 16);
+        let mut out = Vec::with_capacity((self.jobs_per_hour * hours as f64) as usize + 16);
         for h in 0..hours {
             let mut rate = self.jobs_per_hour * self.diurnal_factor(h);
             let mut intensity = 1.0;
@@ -198,10 +202,16 @@ mod tests {
             peak_hour: 0.0,
             burst_sigma: 1.3,
         };
-        let f = peak_to_median(&hourly_counts(&flat.sample_arrivals(&mut rng, hours), hours))
-            .unwrap();
-        let b = peak_to_median(&hourly_counts(&bursty.sample_arrivals(&mut rng, hours), hours))
-            .unwrap();
+        let f = peak_to_median(&hourly_counts(
+            &flat.sample_arrivals(&mut rng, hours),
+            hours,
+        ))
+        .unwrap();
+        let b = peak_to_median(&hourly_counts(
+            &bursty.sample_arrivals(&mut rng, hours),
+            hours,
+        ))
+        .unwrap();
         assert!(b > 2.0 * f, "bursty {b} vs flat {f}");
         assert!(b >= 5.0, "bursty model should exceed 5:1, got {b}");
     }

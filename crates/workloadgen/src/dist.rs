@@ -37,9 +37,18 @@ impl LogNormal {
     /// From median and ln-space sigma. `median` must be > 0 and finite;
     /// `sigma` must be >= 0 and finite.
     pub fn from_median(median: f64, sigma: f64) -> Self {
-        assert!(median > 0.0 && median.is_finite(), "median must be positive");
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
-        LogNormal { mu: median.ln(), sigma }
+        assert!(
+            median > 0.0 && median.is_finite(),
+            "median must be positive"
+        );
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative"
+        );
+        LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
     }
 
     /// Sample one value.
@@ -68,7 +77,10 @@ pub struct Exponential {
 impl Exponential {
     /// From rate; `lambda` must be positive and finite.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive");
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "lambda must be positive"
+        );
         Exponential { lambda }
     }
 
@@ -319,7 +331,10 @@ impl Empirical {
         }
         // Anchor the left edge slightly below the minimum so inversion of
         // small u returns ~min rather than panicking.
-        Empirical { values: knots.iter().map(|k| k.0).collect(), cdf: knots.iter().map(|k| k.1).collect() }
+        Empirical {
+            values: knots.iter().map(|k| k.0).collect(),
+            cdf: knots.iter().map(|k| k.1).collect(),
+        }
     }
 
     /// Invert the CDF at probability `p` (clamped into `[0, 1]`).
@@ -405,8 +420,7 @@ mod tests {
         let mut r = rng();
         for &lambda in &[0.5, 5.0, 200.0] {
             let n = 10_000;
-            let mean =
-                (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
+            let mean = (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - lambda).abs() < lambda.max(1.0) * 0.08,
                 "lambda {lambda}: mean {mean}"
@@ -428,7 +442,13 @@ mod tests {
             counts[k as usize] += 1;
         }
         // Rank 1 must be the most frequent, and far above the tail.
-        let max_rank = counts.iter().enumerate().skip(1).max_by_key(|(_, &c)| c).unwrap().0;
+        let max_rank = counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by_key(|(_, &c)| c)
+            .unwrap()
+            .0;
         assert_eq!(max_rank, 1);
         assert!(counts[1] > 20 * counts[900].max(1));
     }
@@ -537,10 +557,12 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_stream() {
         let d = LogNormal::from_median(50.0, 1.0);
-        let a: Vec<f64> =
-            (0..10).map(|_| d.sample(&mut StdRng::seed_from_u64(9))).collect();
-        let b: Vec<f64> =
-            (0..10).map(|_| d.sample(&mut StdRng::seed_from_u64(9))).collect();
+        let a: Vec<f64> = (0..10)
+            .map(|_| d.sample(&mut StdRng::seed_from_u64(9)))
+            .collect();
+        let b: Vec<f64> = (0..10)
+            .map(|_| d.sample(&mut StdRng::seed_from_u64(9)))
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -209,7 +209,12 @@ impl FilePopulation {
         let id = PathId(self.next_id);
         self.next_id += 1;
         let idx = self.files.len();
-        self.files.push(FileRecord { id, size, last_access: now, is_output });
+        self.files.push(FileRecord {
+            id,
+            size,
+            last_access: now,
+            is_output,
+        });
         if is_output {
             self.outputs.push(idx);
         }
@@ -282,8 +287,7 @@ mod tests {
     fn first_access_is_always_fresh() {
         let mut pop = FilePopulation::new(model());
         let mut rng = StdRng::seed_from_u64(1);
-        let (_, choice) =
-            pop.choose_input(&mut rng, Timestamp::ZERO, DataSize::from_mb(1));
+        let (_, choice) = pop.choose_input(&mut rng, Timestamp::ZERO, DataSize::from_mb(1));
         assert_eq!(choice, InputChoice::Fresh);
         assert_eq!(pop.len(), 1);
     }
@@ -316,11 +320,8 @@ mod tests {
         let mut pop = FilePopulation::new(AccessModel::no_reaccess());
         let mut rng = StdRng::seed_from_u64(3);
         for i in 0..500 {
-            let (_, choice) = pop.choose_input(
-                &mut rng,
-                Timestamp::from_secs(i),
-                DataSize::from_kb(1),
-            );
+            let (_, choice) =
+                pop.choose_input(&mut rng, Timestamp::from_secs(i), DataSize::from_kb(1));
             assert_eq!(choice, InputChoice::Fresh);
         }
         assert_eq!(pop.len(), 500);

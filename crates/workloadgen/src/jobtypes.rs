@@ -10,7 +10,7 @@
 
 use crate::dist::{Categorical, LogNormal};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 use swim_trace::{DataSize, Dur};
 
 /// Default within-cluster ln-space spread. A sigma of 0.8 spans roughly a
@@ -25,7 +25,9 @@ pub const SPLIT_SIZE: u64 = 128 * 1_000_000;
 pub const REDUCE_CHUNK: u64 = 1_000_000_000;
 
 /// One Table 2 row: a job-type cluster centroid and its population count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// `label` is a `&'static str` into the calibrated tables, so this type is
+// serialize-only (deserializing into a 'static borrow is not possible).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct JobTypeProfile {
     /// Cluster population (the `# Jobs` column).
     pub count: u64,
@@ -58,7 +60,16 @@ impl JobTypeProfile {
         reduce_time: Dur,
         label: &'static str,
     ) -> Self {
-        JobTypeProfile { count, input, shuffle, output, duration, map_time, reduce_time, label }
+        JobTypeProfile {
+            count,
+            input,
+            shuffle,
+            output,
+            duration,
+            map_time,
+            reduce_time,
+            label,
+        }
     }
 
     /// `true` iff the centroid describes a map-only job type.
@@ -116,7 +127,11 @@ impl JobTypeMix {
     pub fn with_sigma(types: Vec<JobTypeProfile>, sigma: f64) -> Self {
         assert!(!types.is_empty(), "need at least one job type");
         let weights: Vec<f64> = types.iter().map(|t| t.count as f64).collect();
-        JobTypeMix { picker: Categorical::new(&weights), types, sigma }
+        JobTypeMix {
+            picker: Categorical::new(&weights),
+            types,
+            sigma,
+        }
     }
 
     /// The job-type rows.
@@ -351,8 +366,12 @@ mod tests {
         let n = xs.len() as f64;
         let mx = xs.iter().sum::<f64>() / n;
         let my = ys.iter().sum::<f64>() / n;
-        let cov: f64 =
-            xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n;
+        let cov: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / n;
         let sx = (xs.iter().map(|x| (x - mx).powi(2)).sum::<f64>() / n).sqrt();
         let sy = (ys.iter().map(|y| (y - my).powi(2)).sum::<f64>() / n).sqrt();
         let r = cov / (sx * sy);

@@ -33,7 +33,12 @@ pub struct NameEntry {
 }
 
 const fn entry(word: &'static str, framework: Framework, weight: f64, io_bias: f64) -> NameEntry {
-    NameEntry { word, framework, weight, io_bias }
+    NameEntry {
+        word,
+        framework,
+        weight,
+        io_bias,
+    }
 }
 
 /// A per-workload name vocabulary.

@@ -153,7 +153,16 @@ const fn row(
     reduce_time: Dur,
     label: &'static str,
 ) -> JobTypeProfile {
-    JobTypeProfile::new(count, input, shuffle, output, duration, map_time, reduce_time, label)
+    JobTypeProfile::new(
+        count,
+        input,
+        shuffle,
+        output,
+        duration,
+        map_time,
+        reduce_time,
+        label,
+    )
 }
 
 /// CC-a: e-commerce customer, <100 machines, 1 month, 5 759 jobs, 80 TB.
@@ -164,9 +173,36 @@ pub fn cc_a() -> WorkloadProfile {
         length_days: 30.0,
         total_jobs: 5_759,
         job_types: vec![
-            row(5_525, mb(51), ZERO, mb(4), secs(39), secs(33), ZD, "Small jobs"),
-            row(194, gb(14), gb(12), gb(10), mins(35), secs(65_100), secs(15_410), "Transform"),
-            row(31, tb(1) + gb(200), ZERO, gb(27), hrs(2) + mins(30), secs(437_615), ZD, "Map only, huge"),
+            row(
+                5_525,
+                mb(51),
+                ZERO,
+                mb(4),
+                secs(39),
+                secs(33),
+                ZD,
+                "Small jobs",
+            ),
+            row(
+                194,
+                gb(14),
+                gb(12),
+                gb(10),
+                mins(35),
+                secs(65_100),
+                secs(15_410),
+                "Transform",
+            ),
+            row(
+                31,
+                tb(1) + gb(200),
+                ZERO,
+                gb(27),
+                hrs(2) + mins(30),
+                secs(437_615),
+                ZD,
+                "Map only, huge",
+            ),
             row(
                 9,
                 gb(273),
@@ -178,10 +214,17 @@ pub fn cc_a() -> WorkloadProfile {
                 "Transform and aggregate",
             ),
         ],
-        arrival: ArrivalParams { diurnal_amplitude: 0.3, peak_hour: 14.0, burst_sigma: 1.2 },
+        arrival: ArrivalParams {
+            diurnal_amplitude: 0.3,
+            peak_hour: 14.0,
+            burst_sigma: 1.2,
+        },
         // CC-a ships no path names.
         access: AccessModel::paper_defaults(0.25, 0.15),
-        paths: PathAvailability { input: false, output: false },
+        paths: PathAvailability {
+            input: false,
+            output: false,
+        },
         has_names: true,
     }
 }
@@ -194,15 +237,67 @@ pub fn cc_b() -> WorkloadProfile {
         length_days: 9.0,
         total_jobs: 22_974,
         job_types: vec![
-            row(21_210, kb(4) + b(600), ZERO, kb(4) + b(700), secs(23), secs(11), ZD, "Small jobs"),
-            row(1_565, gb(41), gb(10), gb(2) + mb(100), mins(4), secs(15_837), secs(12_392), "Transform, small"),
-            row(165, gb(123), gb(43), gb(13), mins(6), secs(36_265), secs(31_389), "Transform, medium"),
-            row(31, tb(4) + gb(700), mb(374), mb(24), mins(9), secs(876_786), secs(705), "Aggregate and transform"),
-            row(3, gb(600), gb(1) + mb(600), mb(550), hrs(6) + mins(45), secs(3_092_977), secs(230_976), "Aggregate"),
+            row(
+                21_210,
+                kb(4) + b(600),
+                ZERO,
+                kb(4) + b(700),
+                secs(23),
+                secs(11),
+                ZD,
+                "Small jobs",
+            ),
+            row(
+                1_565,
+                gb(41),
+                gb(10),
+                gb(2) + mb(100),
+                mins(4),
+                secs(15_837),
+                secs(12_392),
+                "Transform, small",
+            ),
+            row(
+                165,
+                gb(123),
+                gb(43),
+                gb(13),
+                mins(6),
+                secs(36_265),
+                secs(31_389),
+                "Transform, medium",
+            ),
+            row(
+                31,
+                tb(4) + gb(700),
+                mb(374),
+                mb(24),
+                mins(9),
+                secs(876_786),
+                secs(705),
+                "Aggregate and transform",
+            ),
+            row(
+                3,
+                gb(600),
+                gb(1) + mb(600),
+                mb(550),
+                hrs(6) + mins(45),
+                secs(3_092_977),
+                secs(230_976),
+                "Aggregate",
+            ),
         ],
-        arrival: ArrivalParams { diurnal_amplitude: 0.2, peak_hour: 11.0, burst_sigma: 1.6 },
+        arrival: ArrivalParams {
+            diurnal_amplitude: 0.2,
+            peak_hour: 11.0,
+            burst_sigma: 1.6,
+        },
         access: AccessModel::paper_defaults(0.25, 0.15),
-        paths: PathAvailability { input: true, output: true },
+        paths: PathAvailability {
+            input: true,
+            output: true,
+        },
         has_names: true,
     }
 }
@@ -215,7 +310,16 @@ pub fn cc_c() -> WorkloadProfile {
         length_days: 30.0,
         total_jobs: 21_030,
         job_types: vec![
-            row(19_975, gb(5) + mb(700), gb(3), mb(200), mins(4), secs(10_933), secs(6_586), "Small jobs"),
+            row(
+                19_975,
+                gb(5) + mb(700),
+                gb(3),
+                mb(200),
+                mins(4),
+                secs(10_933),
+                secs(6_586),
+                "Small jobs",
+            ),
             row(
                 477,
                 tb(1),
@@ -226,7 +330,16 @@ pub fn cc_c() -> WorkloadProfile {
                 secs(462_070),
                 "Transform, light reduce",
             ),
-            row(246, gb(887), gb(57), mb(22), hrs(4) + mins(14), secs(569_391), secs(158_930), "Aggregate"),
+            row(
+                246,
+                gb(887),
+                gb(57),
+                mb(22),
+                hrs(4) + mins(14),
+                secs(569_391),
+                secs(158_930),
+                "Aggregate",
+            ),
             row(
                 197,
                 tb(1) + gb(100),
@@ -237,14 +350,48 @@ pub fn cc_c() -> WorkloadProfile {
                 secs(886_347),
                 "Transform, heavy reduce",
             ),
-            row(105, gb(32), gb(37), gb(2) + mb(400), hrs(2) + mins(11), secs(14_865_972), secs(369_846), "Aggregate, large"),
-            row(23, tb(3) + gb(700), gb(562), gb(37), hrs(17), secs(9_779_062), secs(14_989_871), "Long jobs"),
-            row(7, tb(220), gb(18), gb(2) + mb(800), hrs(5) + mins(15), secs(66_839_710), secs(758_957), "Aggregate, huge"),
+            row(
+                105,
+                gb(32),
+                gb(37),
+                gb(2) + mb(400),
+                hrs(2) + mins(11),
+                secs(14_865_972),
+                secs(369_846),
+                "Aggregate, large",
+            ),
+            row(
+                23,
+                tb(3) + gb(700),
+                gb(562),
+                gb(37),
+                hrs(17),
+                secs(9_779_062),
+                secs(14_989_871),
+                "Long jobs",
+            ),
+            row(
+                7,
+                tb(220),
+                gb(18),
+                gb(2) + mb(800),
+                hrs(5) + mins(15),
+                secs(66_839_710),
+                secs(758_957),
+                "Aggregate, huge",
+            ),
         ],
-        arrival: ArrivalParams { diurnal_amplitude: 0.25, peak_hour: 13.0, burst_sigma: 1.3 },
+        arrival: ArrivalParams {
+            diurnal_amplitude: 0.25,
+            peak_hour: 13.0,
+            burst_sigma: 1.3,
+        },
         // CC-c shows the highest re-access fraction (≈78 %, Fig. 6).
         access: AccessModel::paper_defaults(0.48, 0.30),
-        paths: PathAvailability { input: true, output: true },
+        paths: PathAvailability {
+            input: true,
+            output: true,
+        },
         has_names: true,
     }
 }
@@ -257,7 +404,16 @@ pub fn cc_d() -> WorkloadProfile {
         length_days: 66.0,
         total_jobs: 13_283,
         job_types: vec![
-            row(12_736, gb(3) + mb(100), mb(753), mb(231), secs(67), secs(7_376), secs(5_085), "Small jobs"),
+            row(
+                12_736,
+                gb(3) + mb(100),
+                mb(753),
+                mb(231),
+                secs(67),
+                secs(7_376),
+                secs(5_085),
+                "Small jobs",
+            ),
             row(
                 214,
                 gb(633),
@@ -288,11 +444,27 @@ pub fn cc_d() -> WorkloadProfile {
                 secs(900_395),
                 "Expand and Transform",
             ),
-            row(43, gb(17), gb(4), gb(1) + mb(700), mins(36), secs(6_259_747), secs(7_067), "Aggregate"),
+            row(
+                43,
+                gb(17),
+                gb(4),
+                gb(1) + mb(700),
+                mins(36),
+                secs(6_259_747),
+                secs(7_067),
+                "Aggregate",
+            ),
         ],
-        arrival: ArrivalParams { diurnal_amplitude: 0.25, peak_hour: 10.0, burst_sigma: 1.4 },
+        arrival: ArrivalParams {
+            diurnal_amplitude: 0.25,
+            peak_hour: 10.0,
+            burst_sigma: 1.4,
+        },
         access: AccessModel::paper_defaults(0.45, 0.30),
-        paths: PathAvailability { input: true, output: true },
+        paths: PathAvailability {
+            input: true,
+            output: true,
+        },
         has_names: true,
     }
 }
@@ -305,18 +477,70 @@ pub fn cc_e() -> WorkloadProfile {
         length_days: 9.0,
         total_jobs: 10_790,
         job_types: vec![
-            row(10_243, mb(8) + kb(100), ZERO, kb(970), secs(18), secs(15), ZD, "Small jobs"),
-            row(452, gb(166), gb(180), gb(118), mins(31), secs(35_606), secs(38_194), "Transform, large"),
-            row(68, gb(543), gb(502), gb(166), hrs(2), secs(115_077), secs(108_745), "Transform, very large"),
-            row(20, tb(3), ZERO, b(200), mins(5), secs(137_077), ZD, "Map only summary"),
+            row(
+                10_243,
+                mb(8) + kb(100),
+                ZERO,
+                kb(970),
+                secs(18),
+                secs(15),
+                ZD,
+                "Small jobs",
+            ),
+            row(
+                452,
+                gb(166),
+                gb(180),
+                gb(118),
+                mins(31),
+                secs(35_606),
+                secs(38_194),
+                "Transform, large",
+            ),
+            row(
+                68,
+                gb(543),
+                gb(502),
+                gb(166),
+                hrs(2),
+                secs(115_077),
+                secs(108_745),
+                "Transform, very large",
+            ),
+            row(
+                20,
+                tb(3),
+                ZERO,
+                b(200),
+                mins(5),
+                secs(137_077),
+                ZD,
+                "Map only summary",
+            ),
             // The published centroid shows a small shuffle with zero reduce
             // task-time; the generator models it as a reduce stage whose
             // slot-time rounds to zero.
-            row(7, tb(6) + gb(700), gb(2) + mb(300), tb(6) + gb(700), hrs(3) + mins(47), secs(335_807), secs(60), "Map only transform"),
+            row(
+                7,
+                tb(6) + gb(700),
+                gb(2) + mb(300),
+                tb(6) + gb(700),
+                hrs(3) + mins(47),
+                secs(335_807),
+                secs(60),
+                "Map only transform",
+            ),
         ],
-        arrival: ArrivalParams { diurnal_amplitude: 0.5, peak_hour: 15.0, burst_sigma: 1.1 },
+        arrival: ArrivalParams {
+            diurnal_amplitude: 0.5,
+            peak_hour: 15.0,
+            burst_sigma: 1.1,
+        },
         access: AccessModel::paper_defaults(0.42, 0.28),
-        paths: PathAvailability { input: true, output: true },
+        paths: PathAvailability {
+            input: true,
+            output: true,
+        },
         has_names: true,
     }
 }
@@ -329,22 +553,119 @@ pub fn fb2009() -> WorkloadProfile {
         length_days: 180.0,
         total_jobs: 1_129_193,
         job_types: vec![
-            row(1_081_918, kb(21), ZERO, kb(871), secs(32), secs(20), ZD, "Small jobs"),
-            row(37_038, kb(381), ZERO, gb(1) + mb(900), mins(21), secs(6_079), ZD, "Load data, fast"),
-            row(2_070, kb(10), ZERO, gb(4) + mb(200), hrs(1) + mins(50), secs(26_321), ZD, "Load data, slow"),
-            row(602, kb(405), ZERO, gb(447), hrs(1) + mins(10), secs(66_657), ZD, "Load data, large"),
-            row(180, kb(446), ZERO, tb(1) + gb(100), hrs(5) + mins(5), secs(125_662), ZD, "Load data, huge"),
-            row(6_035, gb(230), gb(8) + mb(800), mb(491), mins(15), secs(104_338), secs(66_760), "Aggregate, fast"),
-            row(379, tb(1) + gb(900), mb(502), gb(2) + mb(600), mins(30), secs(348_942), secs(76_736), "Aggregate and expand"),
-            row(159, gb(418), tb(2) + gb(500), gb(45), hrs(1) + mins(25), secs(1_076_089), secs(974_395), "Expand and aggregate"),
-            row(793, gb(255), gb(788), gb(1) + mb(600), mins(35), secs(384_562), secs(338_050), "Data transform"),
-            row(19, tb(7) + gb(600), gb(51), kb(104), mins(55), secs(4_843_452), secs(853_911), "Data summary"),
+            row(
+                1_081_918,
+                kb(21),
+                ZERO,
+                kb(871),
+                secs(32),
+                secs(20),
+                ZD,
+                "Small jobs",
+            ),
+            row(
+                37_038,
+                kb(381),
+                ZERO,
+                gb(1) + mb(900),
+                mins(21),
+                secs(6_079),
+                ZD,
+                "Load data, fast",
+            ),
+            row(
+                2_070,
+                kb(10),
+                ZERO,
+                gb(4) + mb(200),
+                hrs(1) + mins(50),
+                secs(26_321),
+                ZD,
+                "Load data, slow",
+            ),
+            row(
+                602,
+                kb(405),
+                ZERO,
+                gb(447),
+                hrs(1) + mins(10),
+                secs(66_657),
+                ZD,
+                "Load data, large",
+            ),
+            row(
+                180,
+                kb(446),
+                ZERO,
+                tb(1) + gb(100),
+                hrs(5) + mins(5),
+                secs(125_662),
+                ZD,
+                "Load data, huge",
+            ),
+            row(
+                6_035,
+                gb(230),
+                gb(8) + mb(800),
+                mb(491),
+                mins(15),
+                secs(104_338),
+                secs(66_760),
+                "Aggregate, fast",
+            ),
+            row(
+                379,
+                tb(1) + gb(900),
+                mb(502),
+                gb(2) + mb(600),
+                mins(30),
+                secs(348_942),
+                secs(76_736),
+                "Aggregate and expand",
+            ),
+            row(
+                159,
+                gb(418),
+                tb(2) + gb(500),
+                gb(45),
+                hrs(1) + mins(25),
+                secs(1_076_089),
+                secs(974_395),
+                "Expand and aggregate",
+            ),
+            row(
+                793,
+                gb(255),
+                gb(788),
+                gb(1) + mb(600),
+                mins(35),
+                secs(384_562),
+                secs(338_050),
+                "Data transform",
+            ),
+            row(
+                19,
+                tb(7) + gb(600),
+                gb(51),
+                kb(104),
+                mins(55),
+                secs(4_843_452),
+                secs(853_911),
+                "Data summary",
+            ),
         ],
         // FB-2009 peak-to-median ≈ 31:1 (§5.2).
-        arrival: ArrivalParams { diurnal_amplitude: 0.3, peak_hour: 15.0, burst_sigma: 1.25 },
+        arrival: ArrivalParams {
+            diurnal_amplitude: 0.3,
+            peak_hour: 15.0,
+            burst_sigma: 1.25,
+        },
         // FB-2009 ships no path names.
         access: AccessModel::paper_defaults(0.30, 0.20),
-        paths: PathAvailability { input: false, output: false },
+        paths: PathAvailability {
+            input: false,
+            output: false,
+        },
         has_names: true,
     }
 }
@@ -357,23 +678,120 @@ pub fn fb2010() -> WorkloadProfile {
         length_days: 45.0,
         total_jobs: 1_169_184,
         job_types: vec![
-            row(1_145_663, mb(6) + kb(900), b(600), kb(60), mins(1), secs(48), secs(34), "Small jobs"),
-            row(7_911, gb(50), ZERO, gb(61), hrs(8), secs(60_664), ZD, "Map only transform, 8 hrs"),
-            row(779, tb(3) + gb(600), ZERO, tb(4) + gb(400), mins(45), secs(3_081_710), ZD, "Map only transform, 45 min"),
-            row(670, tb(2) + gb(100), ZERO, gb(2) + mb(700), hrs(1) + mins(20), secs(9_457_592), ZD, "Map only aggregate"),
-            row(104, gb(35), ZERO, gb(3) + mb(500), hrs(72), secs(198_436), ZD, "Map only transform, 3 days"),
-            row(11_491, tb(1) + gb(500), gb(30), gb(2) + mb(200), mins(30), secs(1_112_765), secs(387_191), "Aggregate"),
-            row(1_876, gb(711), tb(2) + gb(600), gb(860), hrs(2), secs(1_618_792), secs(2_056_439), "Transform, 2 hrs"),
-            row(454, tb(9), tb(1) + gb(500), tb(1) + gb(200), hrs(1), secs(1_795_682), secs(818_344), "Aggregate and transform"),
-            row(169, tb(2) + gb(700), tb(12), gb(260), hrs(2) + mins(7), secs(2_862_726), secs(3_091_678), "Expand and aggregate"),
-            row(67, gb(630), tb(1) + gb(200), gb(140), hrs(18), secs(1_545_220), secs(18_144_174), "Transform, 18 hrs"),
+            row(
+                1_145_663,
+                mb(6) + kb(900),
+                b(600),
+                kb(60),
+                mins(1),
+                secs(48),
+                secs(34),
+                "Small jobs",
+            ),
+            row(
+                7_911,
+                gb(50),
+                ZERO,
+                gb(61),
+                hrs(8),
+                secs(60_664),
+                ZD,
+                "Map only transform, 8 hrs",
+            ),
+            row(
+                779,
+                tb(3) + gb(600),
+                ZERO,
+                tb(4) + gb(400),
+                mins(45),
+                secs(3_081_710),
+                ZD,
+                "Map only transform, 45 min",
+            ),
+            row(
+                670,
+                tb(2) + gb(100),
+                ZERO,
+                gb(2) + mb(700),
+                hrs(1) + mins(20),
+                secs(9_457_592),
+                ZD,
+                "Map only aggregate",
+            ),
+            row(
+                104,
+                gb(35),
+                ZERO,
+                gb(3) + mb(500),
+                hrs(72),
+                secs(198_436),
+                ZD,
+                "Map only transform, 3 days",
+            ),
+            row(
+                11_491,
+                tb(1) + gb(500),
+                gb(30),
+                gb(2) + mb(200),
+                mins(30),
+                secs(1_112_765),
+                secs(387_191),
+                "Aggregate",
+            ),
+            row(
+                1_876,
+                gb(711),
+                tb(2) + gb(600),
+                gb(860),
+                hrs(2),
+                secs(1_618_792),
+                secs(2_056_439),
+                "Transform, 2 hrs",
+            ),
+            row(
+                454,
+                tb(9),
+                tb(1) + gb(500),
+                tb(1) + gb(200),
+                hrs(1),
+                secs(1_795_682),
+                secs(818_344),
+                "Aggregate and transform",
+            ),
+            row(
+                169,
+                tb(2) + gb(700),
+                tb(12),
+                gb(260),
+                hrs(2) + mins(7),
+                secs(2_862_726),
+                secs(3_091_678),
+                "Expand and aggregate",
+            ),
+            row(
+                67,
+                gb(630),
+                tb(1) + gb(200),
+                gb(140),
+                hrs(18),
+                secs(1_545_220),
+                secs(18_144_174),
+                "Transform, 18 hrs",
+            ),
         ],
         // FB-2010 peak-to-median dropped to ≈ 9:1 after multiplexing more
         // organizations (§5.2); the diurnal is visually identifiable (Fig. 7).
-        arrival: ArrivalParams { diurnal_amplitude: 0.5, peak_hour: 15.0, burst_sigma: 0.8 },
+        arrival: ArrivalParams {
+            diurnal_amplitude: 0.5,
+            peak_hour: 15.0,
+            burst_sigma: 0.8,
+        },
         // FB-2010 ships input paths only.
         access: AccessModel::paper_defaults(0.35, 0.20),
-        paths: PathAvailability { input: true, output: false },
+        paths: PathAvailability {
+            input: true,
+            output: false,
+        },
         has_names: false,
     }
 }
@@ -397,8 +815,7 @@ mod tests {
         for p in WorkloadProfile::paper_seven() {
             let sum: u64 = p.job_types.iter().map(|t| t.count).sum();
             assert_eq!(
-                sum,
-                p.total_jobs,
+                sum, p.total_jobs,
                 "{}: Table 2 cluster counts must sum to the Table 1 job count",
                 p.kind
             );

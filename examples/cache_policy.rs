@@ -17,14 +17,22 @@ fn main() {
     // CC-c has the strongest re-access behaviour (≈78 % of jobs touch
     // pre-existing data) — the most cache-friendly of the seven.
     let trace = WorkloadGenerator::new(
-        GeneratorConfig::new(WorkloadKind::CcC).scale(0.5).days(5.0).seed(13),
+        GeneratorConfig::new(WorkloadKind::CcC)
+            .scale(0.5)
+            .days(5.0)
+            .seed(13),
     )
     .generate();
     let plan = ReplayPlan::from_trace(&trace);
     let paths: Vec<PathId> = trace
         .jobs()
         .iter()
-        .map(|j| j.input_paths.first().copied().expect("CC-c has input paths"))
+        .map(|j| {
+            j.input_paths
+                .first()
+                .copied()
+                .expect("CC-c has input paths")
+        })
         .collect();
 
     // Workload-specific size threshold (§4.2: "a viable cache policy is
@@ -50,14 +58,17 @@ fn main() {
     let policies: [(&str, CachePolicy); 4] = [
         ("LRU", CachePolicy::Lru),
         ("LFU", CachePolicy::Lfu),
-        ("size-threshold p90", CachePolicy::SizeThreshold { threshold }),
+        (
+            "size-threshold p90",
+            CachePolicy::SizeThreshold { threshold },
+        ),
         ("unlimited (bound)", CachePolicy::Unlimited),
     ];
     for (name, policy) in policies {
         print!("{name:<24}");
         for cap_gb in [10u64, 100, 1_000, 10_000] {
-            let config = SimConfig::new(trace.machines)
-                .with_cache(policy, DataSize::from_gb(cap_gb));
+            let config =
+                SimConfig::new(trace.machines).with_cache(policy, DataSize::from_gb(cap_gb));
             let result = Simulator::new(config).run(&plan, Some(&paths));
             let stats = result.cache.expect("cache configured");
             print!(" {:>9.1}%", stats.hit_rate() * 100.0);

@@ -14,7 +14,10 @@ use swim_sim::Simulator;
 
 fn main() {
     let trace = WorkloadGenerator::new(
-        GeneratorConfig::new(WorkloadKind::CcB).scale(0.5).days(4.0).seed(29),
+        GeneratorConfig::new(WorkloadKind::CcB)
+            .scale(0.5)
+            .days(4.0)
+            .seed(29),
     )
     .generate();
     let plan = ReplayPlan::from_trace(&trace);

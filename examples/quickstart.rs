@@ -11,7 +11,10 @@ fn main() {
     // A week of the FB-2009-like workload at 5 % job scale: around
     // 20 000 jobs, generated in about a second.
     let trace = WorkloadGenerator::new(
-        GeneratorConfig::new(WorkloadKind::Fb2009).scale(0.05).days(7.0).seed(7),
+        GeneratorConfig::new(WorkloadKind::Fb2009)
+            .scale(0.05)
+            .days(7.0)
+            .seed(7),
     )
     .generate();
 
@@ -24,9 +27,18 @@ fn main() {
     println!();
 
     println!("per-job data sizes (median):");
-    println!("  input  {}", DataSize::from_f64(analysis.input_sizes.median()));
-    println!("  shuffle{:>7}", DataSize::from_f64(analysis.shuffle_sizes.median()).to_string());
-    println!("  output {}", DataSize::from_f64(analysis.output_sizes.median()));
+    println!(
+        "  input  {}",
+        DataSize::from_f64(analysis.input_sizes.median())
+    );
+    println!(
+        "  shuffle{:>7}",
+        DataSize::from_f64(analysis.shuffle_sizes.median()).to_string()
+    );
+    println!(
+        "  output {}",
+        DataSize::from_f64(analysis.output_sizes.median())
+    );
     println!();
 
     if let Some(b) = &analysis.burstiness {
@@ -61,11 +73,6 @@ fn main() {
 
     println!("top job-name words by count:");
     for g in analysis.names.groups.iter().take(5) {
-        println!(
-            "  {:<12} {:>6} jobs ({})",
-            g.word,
-            g.jobs,
-            g.framework
-        );
+        println!("  {:<12} {:>6} jobs ({})", g.word, g.jobs, g.framework);
     }
 }

@@ -15,7 +15,10 @@ use swim_synth::validate::SynthesisReport;
 fn main() {
     // 1. The "production" trace: two weeks of FB-2009-like load.
     let source = WorkloadGenerator::new(
-        GeneratorConfig::new(WorkloadKind::Fb2009).scale(0.03).days(14.0).seed(3),
+        GeneratorConfig::new(WorkloadKind::Fb2009)
+            .scale(0.03)
+            .days(14.0)
+            .seed(3),
     )
     .generate();
     println!(
@@ -50,7 +53,11 @@ fn main() {
     // 4. Scale the data down from 600 production nodes to a 20-node test rig.
     let scaled = scale_trace(
         &sampled,
-        ScaleConfig { target_machines: 20, mode: ScaleMode::DataSize, seed: 0 },
+        ScaleConfig {
+            target_machines: 20,
+            mode: ScaleMode::DataSize,
+            seed: 0,
+        },
     );
     println!("scaled    : 20 nodes, {} to move", scaled.bytes_moved());
 

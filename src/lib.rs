@@ -14,7 +14,10 @@
 //!   (§4), temporal patterns (§5), computation patterns (§6);
 //! * [`synth`] — the SWIM pipeline: sampling, scale-down, data
 //!   generation, replay plans, and KS validation (§7);
-//! * [`sim`] — a discrete-event MapReduce cluster simulator for replays.
+//! * [`sim`] — a discrete-event MapReduce cluster simulator for replays;
+//! * [`store`] — a columnar, chunked binary trace store with parallel
+//!   chunked scans, for million-job histories that should not be
+//!   re-parsed from text (or held in RAM) on every analysis.
 //!
 //! ## Quick start
 //!
@@ -42,6 +45,7 @@
 
 pub use swim_core as core;
 pub use swim_sim as sim;
+pub use swim_store as store;
 pub use swim_synth as synth;
 pub use swim_trace as trace;
 pub use swim_workloadgen as workloadgen;
@@ -50,6 +54,7 @@ pub use swim_workloadgen as workloadgen;
 pub mod prelude {
     pub use swim_core::workload::WorkloadAnalysis;
     pub use swim_sim::{CachePolicy, SimConfig, Simulator};
+    pub use swim_store::{Store, StoreOptions};
     pub use swim_synth::sample::{sample_windows, SampleConfig};
     pub use swim_synth::ReplayPlan;
     pub use swim_trace::trace::WorkloadKind;

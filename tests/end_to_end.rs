@@ -11,8 +11,13 @@ use swim_synth::validate::SynthesisReport;
 use swim_trace::trace::WorkloadKind;
 
 fn gen(kind: WorkloadKind, scale: f64, days: f64, seed: u64) -> Trace {
-    WorkloadGenerator::new(GeneratorConfig::new(kind).scale(scale).days(days).seed(seed))
-        .generate()
+    WorkloadGenerator::new(
+        GeneratorConfig::new(kind)
+            .scale(scale)
+            .days(days)
+            .seed(seed),
+    )
+    .generate()
 }
 
 #[test]
@@ -26,7 +31,11 @@ fn generated_zipf_slope_is_near_five_sixths() {
         (0.4..1.4).contains(&magnitude),
         "slope magnitude {magnitude:.3} too far from 5/6"
     );
-    assert!(fit.r_squared > 0.7, "poor linear fit: R² {:.3}", fit.r_squared);
+    assert!(
+        fit.r_squared > 0.7,
+        "poor linear fit: R² {:.3}",
+        fit.r_squared
+    );
 }
 
 #[test]
@@ -37,7 +46,12 @@ fn generated_traces_show_temporal_locality() {
     // low-rate workloads individually still show meaningful locality.
     let mut within = 0.0;
     let mut total = 0.0;
-    for kind in [WorkloadKind::CcB, WorkloadKind::CcC, WorkloadKind::CcD, WorkloadKind::CcE] {
+    for kind in [
+        WorkloadKind::CcB,
+        WorkloadKind::CcC,
+        WorkloadKind::CcD,
+        WorkloadKind::CcE,
+    ] {
         let trace = gen(kind, 1.0, 10.0, 102);
         let loc = LocalityStats::gather(&trace);
         let n = (loc.input_input_intervals.len() + loc.output_input_intervals.len()) as f64;
@@ -116,7 +130,11 @@ fn synthesis_pipeline_preserves_distributions_and_replays() {
 
     let scaled = scale_trace(
         &sampled,
-        ScaleConfig { target_machines: 30, mode: ScaleMode::DataSize, seed: 0 },
+        ScaleConfig {
+            target_machines: 30,
+            mode: ScaleMode::DataSize,
+            seed: 0,
+        },
     );
     let plan = ReplayPlan::from_trace(&scaled);
     assert_eq!(plan.len(), scaled.len());
@@ -150,11 +168,7 @@ fn cache_policies_ordered_by_generosity() {
     use swim_trace::PathId;
     let trace = gen(WorkloadKind::CcC, 0.3, 3.0, 108);
     let plan = ReplayPlan::from_trace(&trace);
-    let paths: Vec<PathId> = trace
-        .jobs()
-        .iter()
-        .map(|j| j.input_paths[0])
-        .collect();
+    let paths: Vec<PathId> = trace.jobs().iter().map(|j| j.input_paths[0]).collect();
     let hit_rate = |policy: CachePolicy| {
         let cfg = SimConfig::new(100).with_cache(policy, DataSize::from_gb(100));
         Simulator::new(cfg)
@@ -165,9 +179,13 @@ fn cache_policies_ordered_by_generosity() {
     };
     let unlimited = hit_rate(CachePolicy::Unlimited);
     let lru = hit_rate(CachePolicy::Lru);
-    let threshold =
-        hit_rate(CachePolicy::SizeThreshold { threshold: DataSize::from_gb(1) });
-    assert!(unlimited > 0.2, "even unbounded cache shows no re-access hits");
+    let threshold = hit_rate(CachePolicy::SizeThreshold {
+        threshold: DataSize::from_gb(1),
+    });
+    assert!(
+        unlimited > 0.2,
+        "even unbounded cache shows no re-access hits"
+    );
     assert!(unlimited + 1e-9 >= lru, "unlimited {unlimited} < lru {lru}");
     assert!(unlimited + 1e-9 >= threshold);
 }
@@ -181,8 +199,7 @@ fn trace_codecs_round_trip_generated_traces() {
     assert_eq!(back, trace);
 
     let csv = swim_trace::io::to_csv_string(&trace).unwrap();
-    let back =
-        swim_trace::io::from_csv_string(trace.kind.clone(), trace.machines, &csv).unwrap();
+    let back = swim_trace::io::from_csv_string(trace.kind.clone(), trace.machines, &csv).unwrap();
     assert_eq!(back.len(), trace.len());
     assert_eq!(back.bytes_moved(), trace.bytes_moved());
 }
