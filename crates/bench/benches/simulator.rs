@@ -1,10 +1,13 @@
-//! Simulator benchmarks: replay throughput plus the two design-choice
-//! ablations DESIGN.md calls out — scheduler (FIFO vs fair) and cache
-//! policy (LRU vs LFU vs size-threshold vs unlimited).
+//! Simulator benchmarks: the wave-scheduled engine against the retired
+//! per-task engine on a 50k-job plan (heap-event reduction + wall-clock
+//! speedup), parallel scenario-sweep throughput, plus the two
+//! design-choice ablations DESIGN.md calls out — scheduler (FIFO vs
+//! fair) and cache policy (LRU vs LFU vs size-threshold vs unlimited).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use swim_sim::{CachePolicy, SchedulerKind, SimConfig, Simulator};
+use swim_sim::reference::run_per_task;
+use swim_sim::{CachePolicy, ScenarioGrid, SchedulerKind, SimConfig, Simulator};
 use swim_synth::ReplayPlan;
 use swim_trace::trace::WorkloadKind;
 use swim_trace::{DataSize, PathId};
@@ -21,9 +24,89 @@ fn plan_and_paths() -> (ReplayPlan, Vec<PathId>) {
     let paths: Vec<PathId> = trace
         .jobs()
         .iter()
-        .map(|j| j.input_paths.first().copied().unwrap_or(PathId(0)))
+        .enumerate()
+        .map(|(i, j)| {
+            j.input_paths
+                .first()
+                .copied()
+                .unwrap_or(PathId(1_000_000_000 + i as u64))
+        })
         .collect();
     (ReplayPlan::from_trace(&trace), paths)
+}
+
+/// Tile the synthesized plan to ≥ 50k jobs for the engine comparison.
+fn plan_50k() -> ReplayPlan {
+    let (base, _) = plan_and_paths();
+    let times = 50_000usize.div_ceil(base.len().max(1));
+    base.repeat(times)
+}
+
+/// The acceptance benchmark: the wave engine must process ≥ 5× fewer
+/// heap events than the per-task engine on a 50k-job replay, and be
+/// measurably faster wall-clock. Both are recorded in the bench output
+/// (the event counts once, the timings via the harness).
+fn bench_wave_vs_per_task(c: &mut Criterion) {
+    let plan = plan_50k();
+    let cfg = SimConfig::new(100);
+    let wave = Simulator::new(cfg).run(&plan, None);
+    let per_task = run_per_task(&cfg, &plan, None);
+    assert_eq!(
+        wave.outcomes, per_task.outcomes,
+        "engines must agree before comparing their cost"
+    );
+    eprintln!(
+        "\n50k-job replay ({} jobs, {} tasks): wave engine {} heap events vs \
+         per-task {} — {:.1}x fewer",
+        plan.len(),
+        plan.total_tasks(),
+        wave.events,
+        per_task.events,
+        per_task.events as f64 / wave.events.max(1) as f64
+    );
+    let mut group = c.benchmark_group("wave_vs_per_task_50k_jobs");
+    group.sample_size(10);
+    group.bench_function("wave", |b| {
+        b.iter(|| black_box(Simulator::new(cfg).run(&plan, None).makespan))
+    });
+    group.bench_function("per_task", |b| {
+        b.iter(|| black_box(run_per_task(&cfg, &plan, None).makespan))
+    });
+    group.finish();
+}
+
+/// Parallel sweep throughput: a 12-cell scheduler × cache × cluster-size
+/// grid, parallel fan-out vs the serial loop it must be bit-identical to.
+fn bench_sweep(c: &mut Criterion) {
+    let (plan, paths) = plan_and_paths();
+    let grid = ScenarioGrid::new(vec![50, 100])
+        .schedulers(vec![SchedulerKind::Fifo, SchedulerKind::Fair])
+        .caches(vec![
+            None,
+            Some((CachePolicy::Lru, DataSize::from_gb(50))),
+            Some((CachePolicy::Unlimited, DataSize::ZERO)),
+        ]);
+    eprintln!(
+        "\nscenario sweep: {} cells over a {}-job plan",
+        grid.len(),
+        plan.len()
+    );
+    let mut group = c.benchmark_group("scenario_sweep_12_cells");
+    group.sample_size(10);
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(Simulator::sweep(&grid, &plan, Some(&paths)).len()))
+    });
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let cells: Vec<_> = grid
+                .configs()
+                .into_iter()
+                .map(|cfg| Simulator::new(cfg).run(&plan, Some(&paths)))
+                .collect();
+            black_box(cells.len())
+        })
+    });
+    group.finish();
 }
 
 fn bench_schedulers(c: &mut Criterion) {
@@ -71,5 +154,11 @@ fn bench_cache_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers, bench_cache_policies);
+criterion_group!(
+    benches,
+    bench_wave_vs_per_task,
+    bench_sweep,
+    bench_schedulers,
+    bench_cache_policies
+);
 criterion_main!(benches);

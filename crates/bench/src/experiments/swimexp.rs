@@ -6,7 +6,7 @@
 
 use crate::render::Table;
 use crate::Corpus;
-use swim_sim::{SimConfig, Simulator};
+use swim_sim::{CachePolicy, ScenarioGrid, SchedulerKind, SimConfig, Simulator};
 use swim_synth::datagen::DataGenPlan;
 use swim_synth::sample::{sample_windows, SampleConfig};
 use swim_synth::scaledown::{scale_trace, ScaleConfig, ScaleMode};
@@ -22,6 +22,19 @@ pub const TARGET_NODES: u32 = 20;
 /// Window sampling preserves distributions statistically, not exactly;
 /// 0.25 rejects gross distortion while tolerating sampling noise.
 pub const KS_THRESHOLD: f64 = 0.25;
+
+/// The what-if grid swept after the baseline replay: scheduler × cache
+/// policy × cluster size (12 scenarios), answering §7's "experiment with
+/// configurations before deploying them" use case on the same plan.
+pub fn whatif_grid() -> ScenarioGrid {
+    ScenarioGrid::new(vec![TARGET_NODES, 2 * TARGET_NODES])
+        .schedulers(vec![SchedulerKind::Fifo, SchedulerKind::Fair])
+        .caches(vec![
+            None,
+            Some((CachePolicy::Lru, DataSize::from_gb(2))),
+            Some((CachePolicy::Unlimited, DataSize::ZERO)),
+        ])
+}
 
 /// Run the SWIM pipeline and report each stage.
 pub fn run(corpus: &Corpus) -> String {
@@ -83,7 +96,60 @@ pub fn run(corpus: &Corpus) -> String {
         result.mean_queue_delay()
     ));
 
-    // 5. Validate distributions (scale-invariant dims: duration, task-time,
+    // 5. What-if sweep: the same plan across a scheduler × cache ×
+    //    cluster-size grid, fanned out in parallel (deterministic,
+    //    order-independent results).
+    let grid = whatif_grid();
+    // Jobs without trace-level path information fall back to a *unique*
+    // private file (the engine's null model for absent paths) — a shared
+    // placeholder would fabricate cache hits.
+    let paths: Vec<swim_trace::PathId> = scaled
+        .jobs()
+        .iter()
+        .enumerate()
+        .map(|(i, j)| {
+            j.input_paths
+                .first()
+                .copied()
+                .unwrap_or(swim_trace::PathId(1_000_000_000 + i as u64))
+        })
+        .collect();
+    let cells = Simulator::sweep(&grid, &plan, Some(&paths));
+    out.push_str(&format!(
+        "what-if sweep : {} scenarios (scheduler × cache × cluster size), in parallel\n",
+        cells.len()
+    ));
+    let mut sweep_table = Table::new(vec![
+        "Nodes",
+        "Scheduler",
+        "Cache",
+        "Median lat",
+        "p99 lat",
+        "Mean queue",
+        "Hit rate",
+    ]);
+    for cell in &cells {
+        sweep_table.row(vec![
+            cell.config.cluster.nodes.to_string(),
+            format!("{:?}", cell.config.scheduler).to_lowercase(),
+            crate::render::cache_label(&cell.config.cache),
+            format!("{:.0} s", cell.result.median_latency()),
+            format!("{:.0} s", cell.result.latency_percentile(0.99)),
+            format!("{:.1} s", cell.result.mean_queue_delay()),
+            cell.result
+                .cache
+                .map(|c| format!("{:.0}%", 100.0 * c.hit_rate()))
+                .unwrap_or_else(|| "-".to_owned()),
+        ]);
+    }
+    out.push_str(&sweep_table.render());
+    out.push_str(
+        "  (cache rows stay cold here: the scaled trace carries no input-path \
+         information, so every job reads a private file — the null model. \
+         `swim-sim --workload cc-e` sweeps a workload with shared paths.)\n\n",
+    );
+
+    // 6. Validate distributions (scale-invariant dims: duration, task-time,
     //    interarrival; byte dims compared pre-scaling).
     let report = SynthesisReport::compare(source, &sampled);
     let mut table = Table::new(vec!["Dimension", "KS distance", "within threshold"]);
@@ -146,6 +212,33 @@ mod tests {
         let plan = ReplayPlan::from_trace(&scaled);
         let result = Simulator::new(SimConfig::new(TARGET_NODES)).run(&plan, None);
         assert_eq!(result.outcomes.len(), plan.len());
+    }
+
+    #[test]
+    fn whatif_sweep_covers_twelve_scenarios_and_matches_serial_runs() {
+        let corpus = test_corpus();
+        let source = corpus.get(&WorkloadKind::Fb2009);
+        let sampled = sample_windows(source, SampleConfig::one_day_from_hours(3));
+        let scaled = scale_trace(
+            &sampled,
+            ScaleConfig {
+                target_machines: TARGET_NODES,
+                mode: ScaleMode::DataSize,
+                seed: 0,
+            },
+        );
+        let plan = ReplayPlan::from_trace(&scaled);
+        let grid = whatif_grid();
+        assert!(grid.len() >= 12, "grid has {} cells", grid.len());
+        let cells = Simulator::sweep(&grid, &plan, None);
+        assert_eq!(cells.len(), grid.len());
+        // Parallel fan-out must be bit-identical to serial execution and
+        // independent of scheduling order.
+        for (cell, config) in cells.iter().zip(grid.configs()) {
+            assert_eq!(cell.config, config);
+            assert_eq!(cell.result, Simulator::new(config).run(&plan, None));
+        }
+        assert_eq!(cells, Simulator::sweep(&grid, &plan, None));
     }
 
     #[test]

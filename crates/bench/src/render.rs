@@ -121,6 +121,19 @@ pub fn bytes(b: f64) -> String {
     swim_trace::DataSize::from_f64(b).to_string()
 }
 
+/// Label a simulator cache configuration for sweep tables: `none`,
+/// `lru:10.0 GB`, `lfu:10.0 GB`, `thr<500 MB:2.00 GB`, `unlimited`.
+pub fn cache_label(cache: &Option<(swim_sim::CachePolicy, swim_trace::DataSize)>) -> String {
+    use swim_sim::CachePolicy;
+    match cache {
+        None => "none".into(),
+        Some((CachePolicy::Lru, cap)) => format!("lru:{cap}"),
+        Some((CachePolicy::Lfu, cap)) => format!("lfu:{cap}"),
+        Some((CachePolicy::SizeThreshold { threshold }, cap)) => format!("thr<{threshold}:{cap}"),
+        Some((CachePolicy::Unlimited, _)) => "unlimited".into(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

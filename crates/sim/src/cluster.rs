@@ -94,20 +94,30 @@ impl SlotPool {
 
     /// Return one map slot.
     pub fn release_map(&mut self) {
-        assert!(
-            self.free_map < self.config.map_slots(),
-            "releasing more map slots than exist"
-        );
-        self.free_map += 1;
+        self.release_map_n(1);
     }
 
     /// Return one reduce slot.
     pub fn release_reduce(&mut self) {
+        self.release_reduce_n(1);
+    }
+
+    /// Return `n` map slots at once (a finished wave).
+    pub fn release_map_n(&mut self, n: u32) {
         assert!(
-            self.free_reduce < self.config.reduce_slots(),
+            self.free_map + n <= self.config.map_slots(),
+            "releasing more map slots than exist"
+        );
+        self.free_map += n;
+    }
+
+    /// Return `n` reduce slots at once (a finished wave).
+    pub fn release_reduce_n(&mut self, n: u32) {
+        assert!(
+            self.free_reduce + n <= self.config.reduce_slots(),
             "releasing more reduce slots than exist"
         );
-        self.free_reduce += 1;
+        self.free_reduce += n;
     }
 
     /// The static configuration.
@@ -151,6 +161,23 @@ mod tests {
     fn over_release_panics() {
         let mut p = SlotPool::new(ClusterConfig::with_nodes(1));
         p.release_map();
+    }
+
+    #[test]
+    fn wave_release_returns_many_at_once() {
+        let mut p = SlotPool::new(ClusterConfig::with_nodes(2)); // 4+4 slots
+        assert_eq!(p.take_map(4), 4);
+        p.release_map_n(3);
+        assert_eq!(p.free_map, 3);
+        assert_eq!(p.busy_map(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more reduce slots")]
+    fn wave_over_release_panics() {
+        let mut p = SlotPool::new(ClusterConfig::with_nodes(1));
+        p.take_reduce(1);
+        p.release_reduce_n(2);
     }
 
     #[test]

@@ -1,5 +1,12 @@
 //! The discrete-event core: a time-ordered event queue with deterministic
 //! tie-breaking.
+//!
+//! The engine is *wave-scheduled*: when a dispatch round grants a job N
+//! slots whose tasks share one duration, the grant is recorded as a
+//! single [`Event::WaveFinish`] carrying the task count. The heap
+//! therefore holds one event per **wave**, not per task — the event
+//! count for a job with a million tasks on a 400-slot cluster is a few
+//! thousand instead of a million.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -8,14 +15,17 @@ use swim_trace::Timestamp;
 /// Events the simulator processes, ordered by time then by kind priority
 /// (completions before submissions at the same instant, so freed slots
 /// are visible to newly submitted jobs).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
-    /// A running task finishes on a slot.
-    TaskFinish {
-        /// Job the task belongs to.
+    /// A wave of `count` same-duration tasks of one job finishes,
+    /// returning `count` slots at once.
+    WaveFinish {
+        /// Job the wave belongs to.
         job: usize,
         /// `true` for map tasks, `false` for reduce tasks.
         is_map: bool,
+        /// Number of tasks (slots) in the wave.
+        count: u32,
     },
     /// A job is submitted to the scheduler.
     JobSubmit {
@@ -28,17 +38,17 @@ impl Event {
     /// Priority within one instant: lower runs first.
     fn priority(&self) -> u8 {
         match self {
-            Event::TaskFinish { .. } => 0,
+            Event::WaveFinish { .. } => 0,
             Event::JobSubmit { .. } => 1,
         }
     }
 
     /// Stable per-kind key for deterministic ordering of simultaneous
     /// same-kind events.
-    fn key(&self) -> (u8, usize) {
+    fn key(&self) -> (u8, usize, u32) {
         match self {
-            Event::TaskFinish { job, is_map } => (u8::from(!*is_map), *job),
-            Event::JobSubmit { job } => (0, *job),
+            Event::WaveFinish { job, is_map, count } => (u8::from(!*is_map), *job, *count),
+            Event::JobSubmit { job } => (0, *job, 0),
         }
     }
 }
@@ -116,6 +126,10 @@ impl EventQueue {
 mod tests {
     use super::*;
 
+    fn wave(job: usize, is_map: bool, count: u32) -> Event {
+        Event::WaveFinish { job, is_map, count }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
@@ -133,15 +147,9 @@ mod tests {
         let mut q = EventQueue::new();
         let t = Timestamp::from_secs(5);
         q.push(t, Event::JobSubmit { job: 1 });
-        q.push(
-            t,
-            Event::TaskFinish {
-                job: 0,
-                is_map: true,
-            },
-        );
+        q.push(t, wave(0, true, 3));
         let (_, first) = q.pop().unwrap();
-        assert!(matches!(first, Event::TaskFinish { .. }));
+        assert!(matches!(first, Event::WaveFinish { .. }));
     }
 
     #[test]
@@ -155,31 +163,13 @@ mod tests {
     }
 
     #[test]
-    fn map_finishes_before_reduce_finishes() {
+    fn map_waves_finish_before_reduce_waves() {
         let mut q = EventQueue::new();
         let t = Timestamp::from_secs(1);
-        q.push(
-            t,
-            Event::TaskFinish {
-                job: 0,
-                is_map: false,
-            },
-        );
-        q.push(
-            t,
-            Event::TaskFinish {
-                job: 0,
-                is_map: true,
-            },
-        );
+        q.push(t, wave(0, false, 1));
+        q.push(t, wave(0, true, 1));
         let (_, first) = q.pop().unwrap();
-        assert_eq!(
-            first,
-            Event::TaskFinish {
-                job: 0,
-                is_map: true
-            }
-        );
+        assert_eq!(first, wave(0, true, 1));
     }
 
     #[test]

@@ -7,19 +7,27 @@
 //!
 //! * a cluster of nodes exposing map and reduce **slots** ([`cluster`]);
 //! * pluggable job **schedulers** — FIFO and Hadoop-fair-scheduler-style
+//!   — backed by a runnable-with-demand index for incremental dispatch
 //!   ([`scheduler`]);
 //! * an HDFS-like **storage layer** with pluggable cache tiers — LRU,
 //!   LFU, the paper's §4.2 size-threshold policy, and an unbounded
 //!   reference tier ([`hdfs`], [`cache`]);
-//! * a replay **engine** that executes a `swim-synth` [`swim_synth::ReplayPlan`]
-//!   and reports per-hour slot utilization (Fig. 7 column 4), per-job
-//!   latencies, queueing delays, and cache hit rates ([`engine`],
-//!   [`metrics`]).
+//! * a **wave-scheduled** replay engine that executes a `swim-synth`
+//!   [`swim_synth::ReplayPlan`] with one heap event per *wave* of
+//!   same-duration tasks (not per task) and exact, remainder-distributed
+//!   slot-second accounting, reporting per-hour slot utilization
+//!   (Fig. 7 column 4), per-job latencies, queueing delays, and cache
+//!   hit rates ([`engine`], [`metrics`]);
+//! * a parallel **scenario sweep** driver for what-if grids over
+//!   scheduler × cache × cluster size ([`sweep`]);
+//! * the retired per-task engine as a semantic reference and benchmark
+//!   baseline ([`reference`]).
 //!
 //! The task model is deliberately the paper's own abstraction: a job is
 //! its task-time vector; each task occupies one slot for
-//! `task_time / task_count` seconds. This keeps the simulator faithful to
-//! what the traces can actually parameterize.
+//! `task_time / task_count` seconds (remainder seconds spread one per
+//! task, so totals are preserved bit-for-bit). This keeps the simulator
+//! faithful to what the traces can actually parameterize.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,9 +38,12 @@ pub mod engine;
 pub mod event;
 pub mod hdfs;
 pub mod metrics;
+pub mod reference;
 pub mod scheduler;
+pub mod sweep;
 
 pub use cache::{CachePolicy, CacheStats};
 pub use cluster::ClusterConfig;
 pub use engine::{SimConfig, SimResult, Simulator};
 pub use scheduler::SchedulerKind;
+pub use sweep::{ScenarioGrid, SweepCell};

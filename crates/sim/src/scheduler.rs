@@ -3,6 +3,14 @@
 //! policies whose trade-off the paper's small-vs-large job dichotomy
 //! (§6.2) makes interesting: under FIFO a single large job head-of-line
 //! blocks the many small interactive jobs.
+//!
+//! The scheduler is a **runnable-with-demand index**: it tracks only the
+//! jobs that can actually receive a freed slot right now — one queue for
+//! jobs with pending map tasks, one for jobs whose reduces are unblocked
+//! (all maps finished) and pending. Jobs whose tasks are all running are
+//! *not* in either queue, so a dispatch round touches exactly the jobs it
+//! grants slots to instead of scanning every runnable job per event (the
+//! old engine's O(runnable-jobs × events) wall).
 
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -17,13 +25,16 @@ pub enum SchedulerKind {
     Fair,
 }
 
-/// Tracks the set of runnable jobs and yields the next candidate to grant
-/// a slot to, per policy.
+/// The demand index: jobs currently able to accept map or reduce slots,
+/// in policy grant order.
 #[derive(Debug)]
 pub struct Scheduler {
     kind: SchedulerKind,
-    /// Runnable job indices, in submission order for FIFO; rotated for Fair.
-    runnable: VecDeque<usize>,
+    /// Jobs with pending (ungranted) map tasks. Submission order for
+    /// FIFO; round-robin rotated for Fair.
+    map_demand: VecDeque<usize>,
+    /// Jobs with pending reduce tasks whose maps have all finished.
+    reduce_demand: VecDeque<usize>,
 }
 
 impl Scheduler {
@@ -31,7 +42,8 @@ impl Scheduler {
     pub fn new(kind: SchedulerKind) -> Self {
         Scheduler {
             kind,
-            runnable: VecDeque::new(),
+            map_demand: VecDeque::new(),
+            reduce_demand: VecDeque::new(),
         }
     }
 
@@ -40,42 +52,77 @@ impl Scheduler {
         self.kind
     }
 
-    /// Add a job to the runnable set (on submission).
-    pub fn add(&mut self, job: usize) {
-        self.runnable.push_back(job);
+    /// A job gained pending map demand (submission).
+    pub fn enqueue_map(&mut self, job: usize) {
+        Self::enqueue(self.kind, &mut self.map_demand, job);
     }
 
-    /// Remove a job (when it has no more tasks to launch).
-    pub fn remove(&mut self, job: usize) {
-        if let Some(pos) = self.runnable.iter().position(|&j| j == job) {
-            self.runnable.remove(pos);
+    /// A job's reduces became runnable (last map finished, or submission
+    /// of a map-less job).
+    pub fn enqueue_reduce(&mut self, job: usize) {
+        Self::enqueue(self.kind, &mut self.reduce_demand, job);
+    }
+
+    /// FIFO keeps strict submission order (job indices are assigned in
+    /// submission order, so ordered insertion restores it even when
+    /// reduces unblock out of order); Fair appends — a newly demanding
+    /// job joins the round-robin at the back.
+    fn enqueue(kind: SchedulerKind, queue: &mut VecDeque<usize>, job: usize) {
+        debug_assert!(!queue.contains(&job), "job {job} double-enqueued");
+        match kind {
+            SchedulerKind::Fifo => {
+                let pos = queue.partition_point(|&j| j < job);
+                queue.insert(pos, job);
+            }
+            SchedulerKind::Fair => queue.push_back(job),
         }
     }
 
-    /// Number of runnable jobs.
-    pub fn len(&self) -> usize {
-        self.runnable.len()
+    /// Job at position `i` of the map-demand queue.
+    pub fn map_at(&self, i: usize) -> Option<usize> {
+        self.map_demand.get(i).copied()
     }
 
-    /// `true` iff no jobs are runnable.
-    pub fn is_empty(&self) -> bool {
-        self.runnable.is_empty()
+    /// Job at position `i` of the reduce-demand queue.
+    pub fn reduce_at(&self, i: usize) -> Option<usize> {
+        self.reduce_demand.get(i).copied()
     }
 
-    /// Iterate over candidates in grant order. For FIFO this walks the
-    /// queue front-to-back repeatedly giving the head priority; for Fair
-    /// the walk starts at the head and the head is rotated to the back
-    /// after each full dispatch round (`rotate` is called by the engine).
-    pub fn candidates(&self) -> impl Iterator<Item = usize> + '_ {
-        self.runnable.iter().copied()
+    /// Jobs with pending map demand.
+    pub fn map_len(&self) -> usize {
+        self.map_demand.len()
     }
 
-    /// Fair-share rotation: move the head to the back so the next grant
-    /// round favours a different job. No-op under FIFO.
+    /// Jobs with runnable pending reduce demand.
+    pub fn reduce_len(&self) -> usize {
+        self.reduce_demand.len()
+    }
+
+    /// Remove the job at position `i` of the map-demand queue (its last
+    /// pending map task was just granted).
+    pub fn remove_map_at(&mut self, i: usize) {
+        self.map_demand.remove(i);
+    }
+
+    /// Remove the job at position `i` of the reduce-demand queue.
+    pub fn remove_reduce_at(&mut self, i: usize) {
+        self.reduce_demand.remove(i);
+    }
+
+    /// `true` iff no job can accept any slot.
+    pub fn is_idle(&self) -> bool {
+        self.map_demand.is_empty() && self.reduce_demand.is_empty()
+    }
+
+    /// Fair-share rotation: move each queue head to the back so the next
+    /// dispatch round starts from a different job. No-op under FIFO.
     pub fn rotate(&mut self) {
         if self.kind == SchedulerKind::Fair {
-            if let Some(head) = self.runnable.pop_front() {
-                self.runnable.push_back(head);
+            if let Some(head) = self.map_demand.pop_front() {
+                self.map_demand.push_back(head);
+            }
+            if let Some(head) = self.reduce_demand.pop_front() {
+                self.reduce_demand.push_back(head);
             }
         }
     }
@@ -88,51 +135,69 @@ mod tests {
     #[test]
     fn fifo_preserves_submission_order() {
         let mut s = Scheduler::new(SchedulerKind::Fifo);
-        s.add(0);
-        s.add(1);
-        s.add(2);
+        s.enqueue_map(0);
+        s.enqueue_map(1);
+        s.enqueue_map(2);
         s.rotate(); // no-op for FIFO
-        let order: Vec<usize> = s.candidates().collect();
+        let order: Vec<usize> = (0..s.map_len()).filter_map(|i| s.map_at(i)).collect();
         assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fifo_restores_order_when_reduces_unblock_out_of_order() {
+        // Job 5's maps finish before job 2's: the reduce queue must still
+        // serve job 2 first.
+        let mut s = Scheduler::new(SchedulerKind::Fifo);
+        s.enqueue_reduce(5);
+        s.enqueue_reduce(2);
+        s.enqueue_reduce(9);
+        let order: Vec<usize> = (0..s.reduce_len()).filter_map(|i| s.reduce_at(i)).collect();
+        assert_eq!(order, vec![2, 5, 9]);
     }
 
     #[test]
     fn fair_rotation_cycles_head() {
         let mut s = Scheduler::new(SchedulerKind::Fair);
-        s.add(0);
-        s.add(1);
-        s.add(2);
+        s.enqueue_map(0);
+        s.enqueue_map(1);
+        s.enqueue_map(2);
         s.rotate();
-        assert_eq!(s.candidates().next(), Some(1));
+        assert_eq!(s.map_at(0), Some(1));
         s.rotate();
-        assert_eq!(s.candidates().next(), Some(2));
+        assert_eq!(s.map_at(0), Some(2));
         s.rotate();
-        assert_eq!(s.candidates().next(), Some(0));
+        assert_eq!(s.map_at(0), Some(0));
     }
 
     #[test]
-    fn remove_unknown_job_is_noop() {
-        let mut s = Scheduler::new(SchedulerKind::Fifo);
-        s.add(3);
-        s.remove(99);
-        assert_eq!(s.len(), 1);
-    }
-
-    #[test]
-    fn remove_preserves_order_of_rest() {
+    fn removal_by_position() {
         let mut s = Scheduler::new(SchedulerKind::Fifo);
         for i in 0..4 {
-            s.add(i);
+            s.enqueue_map(i);
         }
-        s.remove(1);
-        let order: Vec<usize> = s.candidates().collect();
+        s.remove_map_at(1);
+        let order: Vec<usize> = (0..s.map_len()).filter_map(|i| s.map_at(i)).collect();
         assert_eq!(order, vec![0, 2, 3]);
     }
 
     #[test]
-    fn empty_scheduler_reports_empty() {
+    fn empty_scheduler_is_idle() {
         let s = Scheduler::new(SchedulerKind::Fair);
-        assert!(s.is_empty());
-        assert_eq!(s.candidates().count(), 0);
+        assert!(s.is_idle());
+        assert_eq!(s.map_len(), 0);
+        assert_eq!(s.reduce_len(), 0);
+        assert_eq!(s.map_at(0), None);
+    }
+
+    #[test]
+    fn map_and_reduce_demand_are_independent() {
+        let mut s = Scheduler::new(SchedulerKind::Fifo);
+        s.enqueue_map(0);
+        s.enqueue_reduce(1);
+        assert_eq!(s.map_len(), 1);
+        assert_eq!(s.reduce_len(), 1);
+        s.remove_map_at(0);
+        assert!(s.map_at(0).is_none());
+        assert_eq!(s.reduce_at(0), Some(1));
     }
 }

@@ -86,6 +86,41 @@ impl ReplayPlan {
             .sum()
     }
 
+    /// Total task count (maps + reduces) across the plan.
+    pub fn total_tasks(&self) -> u64 {
+        self.jobs
+            .iter()
+            .map(|j| j.map_tasks as u64 + j.reduce_tasks as u64)
+            .sum()
+    }
+
+    /// Total task-time (slot-seconds) across the plan — the quantity a
+    /// replay must preserve exactly (the simulator's `slot_seconds`
+    /// equals this bit-for-bit).
+    pub fn total_task_time(&self) -> Dur {
+        self.jobs
+            .iter()
+            .map(|j| j.map_task_time + j.reduce_task_time)
+            .sum()
+    }
+
+    /// Tile the job stream `times` times end to end, preserving gaps (the
+    /// first job of each repetition follows the last job of the previous
+    /// one by its own gap). SWIM's knob for stretching a sampled day into
+    /// a multi-day soak, and the bench harness's way to build 50k-job
+    /// plans from a synthesized base.
+    pub fn repeat(&self, times: usize) -> ReplayPlan {
+        let mut jobs = Vec::with_capacity(self.jobs.len() * times);
+        for _ in 0..times {
+            jobs.extend(self.jobs.iter().cloned());
+        }
+        ReplayPlan {
+            name: format!("{}-rep{times}", self.name),
+            machines: self.machines,
+            jobs,
+        }
+    }
+
     /// Total wall-clock span of the submission schedule.
     pub fn schedule_length(&self) -> Dur {
         self.jobs.iter().map(|j| j.gap).sum()
@@ -196,5 +231,29 @@ mod tests {
     #[should_panic(expected = "factor must be positive")]
     fn accelerate_rejects_zero() {
         ReplayPlan::from_trace(&trace()).accelerate(0.0);
+    }
+
+    #[test]
+    fn task_totals_sum_over_jobs() {
+        let plan = ReplayPlan::from_trace(&trace());
+        assert_eq!(plan.total_tasks(), 1 + 2 + 1);
+        assert_eq!(plan.total_task_time(), Dur::from_secs(8 + 4 + 4));
+    }
+
+    #[test]
+    fn repeat_tiles_schedule_and_preserves_totals() {
+        let plan = ReplayPlan::from_trace(&trace());
+        let tiled = plan.repeat(3);
+        assert_eq!(tiled.len(), plan.len() * 3);
+        assert_eq!(tiled.total_tasks(), plan.total_tasks() * 3);
+        assert_eq!(
+            tiled.schedule_length(),
+            Dur::from_secs(plan.schedule_length().secs() * 3)
+        );
+        assert_eq!(tiled.machines, plan.machines);
+        // Submissions keep strictly advancing across repetition joints.
+        let times = tiled.submit_times();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(plan.repeat(1).jobs, plan.jobs);
     }
 }
