@@ -8,6 +8,7 @@
 use crate::render::{bytes, Table};
 use crate::Corpus;
 use swim_core::stats::Ecdf;
+use swim_report::Section;
 
 /// Quantiles printed per stage.
 const QS: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 0.9];
@@ -24,10 +25,10 @@ pub fn median_span_orders(medians: &[f64]) -> f64 {
     (max / min).log10()
 }
 
-/// Regenerate the Figure 1 series.
-pub fn run(corpus: &Corpus) -> String {
-    let mut out =
-        String::from("Figure 1: Per-job input, shuffle, and output size distributions\n\n");
+/// Build the Figure 1 document.
+pub fn doc(corpus: &Corpus) -> Section {
+    let mut section =
+        Section::new("Figure 1: Per-job input, shuffle, and output size distributions");
     let mut medians = (Vec::new(), Vec::new(), Vec::new());
     for (stage, pick) in [("input", 0usize), ("shuffle", 1), ("output", 2)] {
         let mut table = Table::new(vec!["Workload", "p10", "p25", "p50", "p75", "p90"]);
@@ -53,22 +54,26 @@ pub fn run(corpus: &Corpus) -> String {
             }
             table.row(cells);
         }
-        out.push_str(&format!("Per-job {stage} size quantiles:\n"));
-        out.push_str(&table.render());
-        out.push('\n');
+        section.captioned_table(format!("Per-job {stage} size quantiles:"), table);
+        section.prose("\n");
     }
     let (i, s, o) = (
         median_span_orders(&medians.0),
         median_span_orders(&medians.1),
         median_span_orders(&medians.2),
     );
-    out.push_str(&format!(
+    section.prose(format!(
         "Across-workload median spans: input 10^{i:.1}, shuffle 10^{s:.1}, \
          output 10^{o:.1} (paper: ≈6, ≈8, and ≈4 orders of magnitude).\n\
          Shape check: spans of several orders of magnitude with most jobs \
          in the KB–GB range, as the paper reports.\n"
     ));
-    out
+    section
+}
+
+/// Regenerate the Figure 1 series in the historical terminal format.
+pub fn run(corpus: &Corpus) -> String {
+    doc(corpus).render_text()
 }
 
 #[cfg(test)]

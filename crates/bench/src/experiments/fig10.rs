@@ -9,21 +9,23 @@
 use crate::render::{pct, Table};
 use crate::Corpus;
 use swim_core::names::{NameAnalysis, Weighting};
+use swim_report::{Block, KeyValueBlock, Section};
 
 /// How many top words to print per weighting.
 pub const TOP_N: usize = 5;
 
-/// Regenerate the Figure 10 report.
-pub fn run(corpus: &Corpus) -> String {
-    let mut out =
-        String::from("Figure 10: First word of job names (by jobs / I/O / task-time)\n\n");
+/// Build the Figure 10 document.
+pub fn doc(corpus: &Corpus) -> Section {
+    let mut section =
+        Section::new("Figure 10: First word of job names (by jobs / I/O / task-time)");
     for trace in &corpus.traces {
         let analysis = NameAnalysis::of(trace);
-        out.push_str(&format!("{}:\n", trace.kind));
+        section.prose(format!("{}:\n", trace.kind));
         if !analysis.has_names() {
-            out.push_str("  (trace has no job names — as published for FB-2010)\n\n");
+            section.prose("  (trace has no job names — as published for FB-2010)\n\n");
             continue;
         }
+        let mut pairs: Vec<(String, String)> = Vec::new();
         for (weighting, label, total) in [
             (Weighting::Jobs, "jobs", analysis.total_jobs as f64),
             (Weighting::Bytes, "bytes", analysis.total_bytes),
@@ -46,14 +48,19 @@ pub fn run(corpus: &Corpus) -> String {
                     format!("{} {}", g.word, pct(w / total.max(1.0)))
                 })
                 .collect();
-            out.push_str(&format!("  by {label:<9}: {}\n", parts.join(", ")));
+            pairs.push((format!("by {label}"), parts.join(", ")));
         }
+        section.push(Block::KeyValue(KeyValueBlock {
+            pairs,
+            key_width: 12,
+            indent: 2,
+        }));
         let shares = analysis.framework_shares();
         let fw: Vec<String> = shares
             .iter()
             .map(|s| format!("{} {}", s.framework, pct(s.jobs)))
             .collect();
-        out.push_str(&format!(
+        section.prose(format!(
             "  frameworks : {} | top-5 words cover {} of jobs\n\n",
             fw.join(", "),
             pct(analysis.top_k_job_share(TOP_N))
@@ -69,13 +76,18 @@ pub fn run(corpus: &Corpus) -> String {
         let top2: f64 = shares.iter().take(2).map(|s| s.jobs).sum();
         table.row(vec![trace.kind.label().to_owned(), pct(top2)]);
     }
-    out.push_str(&table.render());
-    out.push_str(
+    section.table(table);
+    section.prose(
         "\nShape check (paper): top words dominate; two frameworks cover a \
          dominant majority per workload; `from` carries an outsized I/O and \
          task-time share only in FB-2009.\n",
     );
-    out
+    section
+}
+
+/// Regenerate the Figure 10 report in the historical terminal format.
+pub fn run(corpus: &Corpus) -> String {
+    doc(corpus).render_text()
 }
 
 #[cfg(test)]

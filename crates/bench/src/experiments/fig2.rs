@@ -7,6 +7,7 @@
 use crate::render::Table;
 use crate::Corpus;
 use swim_core::access::{FileAccessStats, PathStage};
+use swim_report::Section;
 
 /// The published cross-workload slope magnitude.
 pub const PAPER_SLOPE: f64 = 5.0 / 6.0;
@@ -15,10 +16,10 @@ pub const PAPER_SLOPE: f64 = 5.0 / 6.0;
 /// lines are visually dominated by the first couple of decades of ranks).
 pub const FIT_RANKS: usize = 300;
 
-/// Regenerate the Figure 2 fits.
-pub fn run(corpus: &Corpus) -> String {
-    let mut out =
-        String::from("Figure 2: Zipf-like file access frequency vs rank (log-log slope)\n\n");
+/// Build the Figure 2 document.
+pub fn doc(corpus: &Corpus) -> Section {
+    let mut section =
+        Section::new("Figure 2: Zipf-like file access frequency vs rank (log-log slope)");
     let mut table = Table::new(vec![
         "Workload",
         "Stage",
@@ -50,16 +51,21 @@ pub fn run(corpus: &Corpus) -> String {
             ]);
         }
     }
-    out.push_str(&table.render());
+    section.table(table);
     let mean = slopes.iter().sum::<f64>() / slopes.len().max(1) as f64;
-    out.push_str(&format!(
+    section.prose(format!(
         "\nMean slope magnitude across workloads/stages: {mean:.3} \
          (paper: ≈ {PAPER_SLOPE:.3} for all workloads).\n\
          Shape check: straight lines on log-log axes (R² near 1) of \
          similar slope across workloads — \"Zipf-like distributions of the \
          same shape\".\n"
     ));
-    out
+    section
+}
+
+/// Regenerate the Figure 2 fits in the historical terminal format.
+pub fn run(corpus: &Corpus) -> String {
+    doc(corpus).render_text()
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 use crate::render::{pct, Table};
 use crate::Corpus;
 use swim_core::access::{FileAccessStats, PathStage};
+use swim_report::Section;
 use swim_trace::DataSize;
 
 /// File-size thresholds reported in the table.
@@ -50,23 +51,28 @@ pub fn threshold_report(corpus: &Corpus, stage: PathStage) -> (Table, Vec<f64>) 
     (table, x_values)
 }
 
-/// Regenerate the Figure 3 report.
-pub fn run(corpus: &Corpus) -> String {
-    let mut out = String::from(
-        "Figure 3: Access patterns vs input file size\n\n\
-         Cumulative fraction of jobs / stored bytes below a file size:\n",
-    );
+/// Build the Figure 3 document.
+pub fn doc(corpus: &Corpus) -> Section {
+    let mut section = Section::new("Figure 3: Access patterns vs input file size");
     let (table, xs) = threshold_report(corpus, PathStage::Input);
-    out.push_str(&table.render());
+    section.captioned_table(
+        "Cumulative fraction of jobs / stored bytes below a file size:",
+        table,
+    );
     let max_x = xs.iter().cloned().fold(0.0f64, f64::max);
-    out.push_str(&format!(
+    section.prose(format!(
         "\n80-X rule across workloads: X up to {max_x:.1} \
          (paper: 80 % of accesses touch 1–8 % of stored bytes).\n\
          Shape check: the jobs column rises far faster than the bytes \
          column — most jobs touch small files that hold a small share of \
          storage, which is what makes threshold caching viable.\n"
     ));
-    out
+    section
+}
+
+/// Regenerate the Figure 3 report in the historical terminal format.
+pub fn run(corpus: &Corpus) -> String {
+    doc(corpus).render_text()
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 use crate::render::{pct, Table};
 use crate::Corpus;
 use swim_core::locality::LocalityStats;
+use swim_report::Section;
 
 /// Interval thresholds reported (seconds): 1 min, 1 h, 6 h, 60 h.
 pub const THRESHOLDS: [(u64, &str); 4] = [
@@ -17,9 +18,9 @@ pub const THRESHOLDS: [(u64, &str); 4] = [
     (60 * 3_600, "60 hrs"),
 ];
 
-/// Regenerate the Figure 5 report.
-pub fn run(corpus: &Corpus) -> String {
-    let mut out = String::from("Figure 5: Data re-access interval CDFs\n\n");
+/// Build the Figure 5 document.
+pub fn doc(corpus: &Corpus) -> Section {
+    let mut section = Section::new("Figure 5: Data re-access interval CDFs");
     for (panel, pick) in [("input→input", 0usize), ("output→input", 1)] {
         let mut table = Table::new(vec![
             "Workload",
@@ -47,9 +48,8 @@ pub fn run(corpus: &Corpus) -> String {
             }
             table.row(cells);
         }
-        out.push_str(&format!("{panel} re-access intervals:\n"));
-        out.push_str(&table.render());
-        out.push('\n');
+        section.captioned_table(format!("{panel} re-access intervals:"), table);
+        section.prose("\n");
     }
     // Cross-workload six-hour fraction.
     let mut fracs = Vec::new();
@@ -61,14 +61,19 @@ pub fn run(corpus: &Corpus) -> String {
         }
     }
     let mean = fracs.iter().sum::<f64>() / fracs.len().max(1) as f64;
-    out.push_str(&format!(
+    section.prose(format!(
         "Mean fraction of re-accesses within 6 hours: {} \
          (paper: ≈75 %).\n\
          Shape check: most re-accesses land within minutes-to-hours — \
          LRU-like eviction with a workload-specific threshold is sensible.\n",
         pct(mean)
     ));
-    out
+    section
+}
+
+/// Regenerate the Figure 5 report in the historical terminal format.
+pub fn run(corpus: &Corpus) -> String {
+    doc(corpus).render_text()
 }
 
 #[cfg(test)]

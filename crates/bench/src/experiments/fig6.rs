@@ -7,10 +7,11 @@
 use crate::render::{pct, Table};
 use crate::Corpus;
 use swim_core::locality::LocalityStats;
+use swim_report::Section;
 
-/// Regenerate the Figure 6 report.
-pub fn run(corpus: &Corpus) -> String {
-    let mut out = String::from("Figure 6: Fraction of jobs reading pre-existing data\n\n");
+/// Build the Figure 6 document.
+pub fn doc(corpus: &Corpus) -> Section {
+    let mut section = Section::new("Figure 6: Fraction of jobs reading pre-existing data");
     let mut table = Table::new(vec![
         "Workload",
         "re-reads pre-existing input",
@@ -28,9 +29,9 @@ pub fn run(corpus: &Corpus) -> String {
             pct(loc.frac_jobs_reaccessing()),
         ]);
     }
-    out.push_str(&table.render());
+    section.table(table);
     let max = totals.iter().cloned().fold(0.0f64, f64::max);
-    out.push_str(&format!(
+    section.prose(format!(
         "\nMaximum re-accessing fraction: {} (paper: up to 78 % for \
          CC-c/CC-d/CC-e, lower elsewhere). Note FB-2010 lacks output paths, \
          so its output-consumption column reads 0 — exactly the paper's \
@@ -39,7 +40,12 @@ pub fn run(corpus: &Corpus) -> String {
          re-access rates top the table; cache benefits differ per workload.\n",
         pct(max)
     ));
-    out
+    section
+}
+
+/// Regenerate the Figure 6 report in the historical terminal format.
+pub fn run(corpus: &Corpus) -> String {
+    doc(corpus).render_text()
 }
 
 #[cfg(test)]

@@ -6,10 +6,10 @@
 //! diurnal cycles on some workloads (FB-2010 submissions), and large
 //! variation both across dimensions of one workload and across workloads.
 
-use crate::render::sparkline;
 use crate::Corpus;
 use swim_core::fourier::detect_diurnal;
 use swim_core::timeseries::HourlySeries;
+use swim_report::{Block, Section};
 use swim_sim::{SimConfig, Simulator};
 use swim_store::{store_to_vec, Store, StoreOptions};
 use swim_synth::ReplayPlan;
@@ -40,24 +40,23 @@ pub fn store_first_week_series(trace: &Trace) -> HourlySeries {
     HourlySeries::from_jobs(scan.jobs().map(|j| j.expect("in-memory chunk decodes")))
 }
 
-/// Regenerate the Figure 7 report.
-pub fn run(corpus: &Corpus) -> String {
-    let mut out = String::from(
+/// Build the Figure 7 document.
+pub fn doc(corpus: &Corpus) -> Section {
+    let mut section = Section::new(
         "Figure 7: Workload behaviour over one week (hourly series, built \
-         from swim-store chunked range scans)\n\n\
-         Columns: jobs/hr, I/O bytes/hr, task-time/hr — rendered as \
+         from swim-store chunked range scans)",
+    );
+    section.prose(
+        "Columns: jobs/hr, I/O bytes/hr, task-time/hr — rendered as \
          7-day sparklines; utilization (avg active slots) from simulator \
          replay where marked.\n\n",
     );
     for trace in &corpus.traces {
         let series = store_first_week_series(trace).truncate(24 * 7);
-        out.push_str(&format!("{}:\n", trace.kind));
-        out.push_str(&format!("  jobs/hr   {}\n", sparkline(&series.jobs)));
-        out.push_str(&format!("  io/hr     {}\n", sparkline(&series.bytes)));
-        out.push_str(&format!(
-            "  task-t/hr {}\n",
-            sparkline(&series.task_seconds)
-        ));
+        section.prose(format!("{}:\n", trace.kind));
+        section.push(Block::spark("jobs/hr", series.jobs.clone(), ""));
+        section.push(Block::spark("io/hr", series.bytes.clone(), ""));
+        section.push(Block::spark("task-t/hr", series.task_seconds.clone(), ""));
         if REPLAYED.contains(&trace.kind) {
             // Replay still materializes the week: the simulator consumes a
             // schedule, not a statistic.
@@ -70,31 +69,42 @@ pub fn run(corpus: &Corpus) -> String {
                 .take(24 * 7)
                 .copied()
                 .collect();
-            out.push_str(&format!("  util      {} (replayed)\n", sparkline(&util)));
+            section.push(Block::spark("util", util, " (replayed)"));
         } else {
-            out.push_str(
-                "  util      (not replayed — as in the paper, not all traces have utilization)\n",
-            );
-        }
-        if let Some(d) = detect_diurnal(&series.jobs, 3.0) {
-            out.push_str(&format!(
-                "  diurnal   snr={:.1} → {}\n",
-                d.snr,
-                if d.detected {
-                    "daily cycle detected"
-                } else {
-                    "no clear daily cycle"
-                }
+            section.push(Block::spark(
+                "util",
+                Vec::new(),
+                "(not replayed — as in the paper, not all traces have utilization)",
             ));
         }
-        out.push('\n');
+        if let Some(d) = detect_diurnal(&series.jobs, 3.0) {
+            section.push(Block::spark(
+                "diurnal",
+                Vec::new(),
+                format!(
+                    "snr={:.1} → {}",
+                    d.snr,
+                    if d.detected {
+                        "daily cycle detected"
+                    } else {
+                        "no clear daily cycle"
+                    }
+                ),
+            ));
+        }
+        section.prose("\n");
     }
-    out.push_str(
+    section.prose(
         "Shape check (paper): all series are noisy; some workloads show \
          Fourier-detectable daily cycles; dimension shapes differ within \
          and across workloads.\n",
     );
-    out
+    section
+}
+
+/// Regenerate the Figure 7 report in the historical terminal format.
+pub fn run(corpus: &Corpus) -> String {
+    doc(corpus).render_text()
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use crate::render::{ratio, Table};
 use crate::Corpus;
 use swim_core::burstiness::{sine_reference, Burstiness};
 use swim_core::timeseries::HourlySeries;
+use swim_report::Section;
 
 /// Percentiles printed per curve.
 pub const PCTS: [f64; 7] = [5.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0];
@@ -54,19 +55,20 @@ fn signal_table(corpus: &Corpus, extract: impl Fn(&HourlySeries) -> Vec<f64>) ->
     table
 }
 
-/// Regenerate the Figure 8 report.
-pub fn run(corpus: &Corpus) -> String {
-    let mut out = String::from(
-        "Figure 8: Burstiness — hourly load normalized by median\n\n\
-         Task-time per hour (the paper's signal):\n",
+/// Build the Figure 8 document.
+pub fn doc(corpus: &Corpus) -> Section {
+    let mut section = Section::new("Figure 8: Burstiness — hourly load normalized by median");
+    section.captioned_table(
+        "Task-time per hour (the paper's signal):",
+        signal_table(corpus, |s| s.task_seconds.clone()),
     );
-    out.push_str(&signal_table(corpus, |s| s.task_seconds.clone()).render());
-    out.push_str(
-        "\nJob submissions per hour (arrival-process burstiness, where the \
-         per-workload Fig. 8 calibration shows through directly):\n",
+    section.prose("\n");
+    section.captioned_table(
+        "Job submissions per hour (arrival-process burstiness, where the \
+         per-workload Fig. 8 calibration shows through directly):",
+        signal_table(corpus, |s| s.jobs.clone()),
     );
-    out.push_str(&signal_table(corpus, |s| s.jobs.clone()).render());
-    out.push_str(
+    section.prose(
         "\nShape check (paper): workload peak-to-median ratios range 9:1 to \
          260:1, orders of magnitude above the sinusoid references (≈1.5:1 \
          and ≈1.05:1); FB-2010 is markedly less bursty than FB-2009 after \
@@ -78,7 +80,12 @@ pub fn run(corpus: &Corpus) -> String {
          production-scale; the ordering across workloads and vs the sine \
          references is the preserved shape.\n",
     );
-    out
+    section
+}
+
+/// Regenerate the Figure 8 report in the historical terminal format.
+pub fn run(corpus: &Corpus) -> String {
+    doc(corpus).render_text()
 }
 
 #[cfg(test)]

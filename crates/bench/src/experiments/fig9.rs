@@ -9,13 +9,14 @@
 use crate::render::Table;
 use crate::Corpus;
 use swim_core::timeseries::HourlySeries;
+use swim_report::Section;
 
 /// Published Fig. 9 averages: `(jobs↔bytes, jobs↔task, bytes↔task)`.
 pub const PAPER_MEANS: (f64, f64, f64) = (0.21, 0.14, 0.62);
 
-/// Regenerate the Figure 9 report.
-pub fn run(corpus: &Corpus) -> String {
-    let mut out = String::from("Figure 9: Correlations between hourly submission series\n\n");
+/// Build the Figure 9 document.
+pub fn doc(corpus: &Corpus) -> Section {
+    let mut section = Section::new("Figure 9: Correlations between hourly submission series");
     let mut table = Table::new(vec![
         "Workload",
         "jobs-bytes",
@@ -49,13 +50,18 @@ pub fn run(corpus: &Corpus) -> String {
         format!("{:.2}", PAPER_MEANS.1),
         format!("{:.2}", PAPER_MEANS.2),
     ]);
-    out.push_str(&table.render());
-    out.push_str(
+    section.table(table);
+    section.prose(
         "\nShape check: bytes↔task-seconds is the strongest pair by a wide \
          margin — workloads are data-centric; schedulers must look beyond \
          active job counts.\n",
     );
-    out
+    section
+}
+
+/// Regenerate the Figure 9 report in the historical terminal format.
+pub fn run(corpus: &Corpus) -> String {
+    doc(corpus).render_text()
 }
 
 #[cfg(test)]

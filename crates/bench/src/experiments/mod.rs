@@ -1,7 +1,11 @@
-//! One module per reproduced artifact. Every `run` function takes the
-//! shared [`crate::Corpus`] and returns a printable report that states
-//! (a) what the paper reports, (b) what the synthetic reproduction
-//! measures, and (c) whether the *shape* of the result holds.
+//! One module per reproduced artifact. Every `doc` function takes the
+//! shared [`crate::Corpus`] and builds a [`swim_report::Section`] — a
+//! typed block tree stating (a) what the paper reports, (b) what the
+//! synthetic reproduction measures, and (c) whether the *shape* of the
+//! result holds. The historical terminal output is re-derived from the
+//! same tree by `render_text` (each module's `run`) and pinned byte for
+//! byte by the golden tests; Markdown and HTML come from the
+//! `swim-report` renderers (`swim-repro --format md|html`).
 
 pub mod fig1;
 pub mod fig10;
@@ -18,6 +22,7 @@ pub mod table1;
 pub mod table2;
 
 use crate::Corpus;
+use swim_report::Section;
 
 /// All experiment ids, in paper order.
 pub const ALL: [&str; 13] = [
@@ -25,25 +30,31 @@ pub const ALL: [&str; 13] = [
     "table2", "swim",
 ];
 
-/// Dispatch an experiment by id.
-pub fn run(id: &str, corpus: &Corpus) -> Option<String> {
-    let report = match id {
-        "table1" => table1::run(corpus),
-        "fig1" => fig1::run(corpus),
-        "fig2" => fig2::run(corpus),
-        "fig3" => fig3::run(corpus),
-        "fig4" => fig4::run(corpus),
-        "fig5" => fig5::run(corpus),
-        "fig6" => fig6::run(corpus),
-        "fig7" => fig7::run(corpus),
-        "fig8" => fig8::run(corpus),
-        "fig9" => fig9::run(corpus),
-        "fig10" => fig10::run(corpus),
-        "table2" => table2::run(corpus),
-        "swim" => swimexp::run(corpus),
+/// Dispatch an experiment by id, returning its document section.
+pub fn doc(id: &str, corpus: &Corpus) -> Option<Section> {
+    let section = match id {
+        "table1" => table1::doc(corpus),
+        "fig1" => fig1::doc(corpus),
+        "fig2" => fig2::doc(corpus),
+        "fig3" => fig3::doc(corpus),
+        "fig4" => fig4::doc(corpus),
+        "fig5" => fig5::doc(corpus),
+        "fig6" => fig6::doc(corpus),
+        "fig7" => fig7::doc(corpus),
+        "fig8" => fig8::doc(corpus),
+        "fig9" => fig9::doc(corpus),
+        "fig10" => fig10::doc(corpus),
+        "table2" => table2::doc(corpus),
+        "swim" => swimexp::doc(corpus),
         _ => return None,
     };
-    Some(report)
+    Some(section)
+}
+
+/// Dispatch an experiment by id, rendering the historical terminal
+/// format (derived from the document model).
+pub fn run(id: &str, corpus: &Corpus) -> Option<String> {
+    doc(id, corpus).map(|section| section.render_text())
 }
 
 #[cfg(test)]
@@ -72,6 +83,24 @@ mod tests {
             let report = run(id, test_corpus()).expect(id);
             assert!(report.len() > 100, "{id} report suspiciously short");
             assert!(report.contains("paper"), "{id} must cite paper values");
+        }
+    }
+
+    #[test]
+    fn docs_are_structured_and_text_derives_from_them() {
+        for id in ALL {
+            let section = doc(id, test_corpus()).expect(id);
+            assert!(!section.title.is_empty(), "{id} section has no title");
+            assert!(!section.blocks.is_empty(), "{id} section has no blocks");
+            assert_eq!(
+                section.render_text(),
+                run(id, test_corpus()).unwrap(),
+                "{id}: run() must be the text rendering of doc()"
+            );
+            // Every experiment's Markdown form must also render non-trivially.
+            let md = swim_report::markdown::render_section(&section, 2);
+            assert!(md.starts_with("## "), "{id} markdown heading");
+            assert!(md.len() > 100, "{id} markdown suspiciously short");
         }
     }
 }

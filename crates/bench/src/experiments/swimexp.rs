@@ -6,6 +6,7 @@
 
 use crate::render::Table;
 use crate::Corpus;
+use swim_report::{Block, KeyValueBlock, Section};
 use swim_sim::{CachePolicy, ScenarioGrid, SchedulerKind, SimConfig, Simulator};
 use swim_synth::datagen::DataGenPlan;
 use swim_synth::sample::{sample_windows, SampleConfig};
@@ -36,24 +37,31 @@ pub fn whatif_grid() -> ScenarioGrid {
         ])
 }
 
-/// Run the SWIM pipeline and report each stage.
-pub fn run(corpus: &Corpus) -> String {
+/// Build the SWIM pipeline document, reporting each stage.
+pub fn doc(corpus: &Corpus) -> Section {
     let source = corpus.get(&WorkloadKind::Fb2009);
-    let mut out =
-        String::from("SWIM (§7): synthesize a scaled-down, replayable FB-2009 workload\n\n");
-    out.push_str(&format!(
-        "source trace: {} jobs over {}, {} moved\n",
-        source.len(),
-        source.span(),
-        source.bytes_moved()
+    let mut section =
+        Section::new("SWIM (§7): synthesize a scaled-down, replayable FB-2009 workload");
+    let mut stages: Vec<(String, String)> = Vec::new();
+    stages.push((
+        "source trace".into(),
+        format!(
+            "{} jobs over {}, {} moved",
+            source.len(),
+            source.span(),
+            source.bytes_moved()
+        ),
     ));
 
     // 1. Sample one synthetic day out of the trace.
     let sampled = sample_windows(source, SampleConfig::one_day_from_hours(7));
-    out.push_str(&format!(
-        "sampled     : {} jobs over {} (hour windows → 1 day)\n",
-        sampled.len(),
-        sampled.span()
+    stages.push((
+        "sampled".into(),
+        format!(
+            "{} jobs over {} (hour windows → 1 day)",
+            sampled.len(),
+            sampled.span()
+        ),
     ));
 
     // 2. Scale data sizes to the target cluster.
@@ -65,36 +73,50 @@ pub fn run(corpus: &Corpus) -> String {
             seed: 0,
         },
     );
-    out.push_str(&format!(
-        "scaled      : {} nodes, {} to move\n",
-        TARGET_NODES,
-        scaled.bytes_moved()
+    stages.push((
+        "scaled".into(),
+        format!("{} nodes, {} to move", TARGET_NODES, scaled.bytes_moved()),
     ));
 
     // 3. Pre-population + replay plans.
     let datagen = DataGenPlan::from_trace(&scaled, DataSize::from_mb(128));
     let plan = ReplayPlan::from_trace(&scaled);
-    out.push_str(&format!(
-        "datagen     : {} files, {} ({} blocks) to pre-populate\n",
-        datagen.file_count(),
-        datagen.total_bytes(),
-        datagen.total_blocks()
+    stages.push((
+        "datagen".into(),
+        format!(
+            "{} files, {} ({} blocks) to pre-populate",
+            datagen.file_count(),
+            datagen.total_bytes(),
+            datagen.total_blocks()
+        ),
     ));
-    out.push_str(&format!(
-        "replay plan : {} jobs, schedule length {}\n",
-        plan.len(),
-        plan.schedule_length()
+    stages.push((
+        "replay plan".into(),
+        format!(
+            "{} jobs, schedule length {}",
+            plan.len(),
+            plan.schedule_length()
+        ),
     ));
 
     // 4. Replay on the simulator.
     let sim = Simulator::new(SimConfig::new(TARGET_NODES));
     let result = sim.run(&plan, None);
-    out.push_str(&format!(
-        "replayed    : makespan {}, median latency {:.0} s, mean queue delay {:.1} s\n\n",
-        result.makespan,
-        result.median_latency(),
-        result.mean_queue_delay()
+    stages.push((
+        "replayed".into(),
+        format!(
+            "makespan {}, median latency {:.0} s, mean queue delay {:.1} s",
+            result.makespan,
+            result.median_latency(),
+            result.mean_queue_delay()
+        ),
     ));
+    section.push(Block::KeyValue(KeyValueBlock {
+        pairs: stages,
+        key_width: 12,
+        indent: 0,
+    }));
+    section.prose("\n");
 
     // 5. What-if sweep: the same plan across a scheduler × cache ×
     //    cluster-size grid, fanned out in parallel (deterministic,
@@ -115,7 +137,7 @@ pub fn run(corpus: &Corpus) -> String {
         })
         .collect();
     let cells = Simulator::sweep(&grid, &plan, Some(&paths));
-    out.push_str(&format!(
+    section.prose(format!(
         "what-if sweep : {} scenarios (scheduler × cache × cluster size), in parallel\n",
         cells.len()
     ));
@@ -142,8 +164,8 @@ pub fn run(corpus: &Corpus) -> String {
                 .unwrap_or_else(|| "-".to_owned()),
         ]);
     }
-    out.push_str(&sweep_table.render());
-    out.push_str(
+    section.table(sweep_table);
+    section.prose(
         "  (cache rows stay cold here: the scaled trace carries no input-path \
          information, so every job reads a private file — the null model. \
          `swim-sim --workload cc-e` sweeps a workload with shared paths.)\n\n",
@@ -167,15 +189,21 @@ pub fn run(corpus: &Corpus) -> String {
             if d <= KS_THRESHOLD { "yes" } else { "NO" }.to_owned(),
         ]);
     }
-    out.push_str(&table.render());
-    out.push_str(&format!(
+    section.table(table);
+    section.prose(format!(
         "\nworst dimension: {:.3} (threshold {KS_THRESHOLD}).\n\
          Shape check (paper): SWIM's replay preserves per-job data-size and \
          arrival distributions while compressing months to a day and \
          thousands of nodes to {TARGET_NODES}.\n",
         report.worst()
     ));
-    out
+    section
+}
+
+/// Run the SWIM pipeline and report each stage in the historical
+/// terminal format.
+pub fn run(corpus: &Corpus) -> String {
+    doc(corpus).render_text()
 }
 
 #[cfg(test)]

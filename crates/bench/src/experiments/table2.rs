@@ -11,6 +11,7 @@ use crate::render::Table;
 use crate::Corpus;
 use swim_core::kmeans::{FeatureScaling, KMeansConfig};
 use swim_core::KMeans;
+use swim_report::Section;
 
 /// Published cluster counts per workload (number of Table 2 rows).
 pub const PAPER_K: [(&str, usize); 7] = [
@@ -72,11 +73,11 @@ pub fn fit_paper_k(trace: &swim_trace::Trace) -> KMeans {
     )
 }
 
-/// Regenerate the Table 2 report.
-pub fn run(corpus: &Corpus) -> String {
-    let mut out = String::from(
-        "Table 2: Job types per workload via 6-dimensional k-means\n\n\
-         Fitted at the paper's published k per workload; the elbow rule's \n\
+/// Build the Table 2 document.
+pub fn doc(corpus: &Corpus) -> Section {
+    let mut section = Section::new("Table 2: Job types per workload via 6-dimensional k-means");
+    section.prose(
+        "Fitted at the paper's published k per workload; the elbow rule's \n\
          own choice is reported alongside (the paper picked k by judging \n\
          diminishing returns in residual variance, which at our reduced \n\
          corpus scale saturates earlier).\n\n",
@@ -84,7 +85,7 @@ pub fn run(corpus: &Corpus) -> String {
     for trace in &corpus.traces {
         let model = fit_paper_k(trace);
         let elbow = KMeans::fit_with_elbow(trace, MAX_K, ELBOW, table2_config());
-        out.push_str(&format!(
+        section.prose(format!(
             "{} — paper k = {} (elbow would choose k = {}):\n",
             trace.kind, model.config.k, elbow.config.k
         ));
@@ -110,21 +111,26 @@ pub fn run(corpus: &Corpus) -> String {
                 c.label.clone(),
             ]);
         }
-        out.push_str(&table.render());
+        section.table(table);
         let total: u64 = model.clusters.iter().map(|c| c.count).sum();
         let small_share = model.clusters[0].count as f64 / total.max(1) as f64;
-        out.push_str(&format!(
+        section.prose(format!(
             "  dominant cluster holds {:.1}% of jobs\n\n",
             small_share * 100.0
         ));
     }
-    out.push_str(
+    section.prose(
         "Shape check (paper): small jobs dominate every workload (>90 %); \
          other clusters are orders of magnitude larger in data and \
          task-time; map-only clusters appear in most workloads; labels \
          cover transform / aggregate / expand behaviours.\n",
     );
-    out
+    section
+}
+
+/// Regenerate the Table 2 report in the historical terminal format.
+pub fn run(corpus: &Corpus) -> String {
+    doc(corpus).render_text()
 }
 
 #[cfg(test)]

@@ -74,6 +74,34 @@ pub struct Cluster {
 }
 
 /// A fitted k-means model.
+///
+/// ```
+/// use swim_core::{KMeans, KMeansConfig};
+/// use swim_trace::trace::WorkloadKind;
+/// use swim_trace::{DataSize, Dur, JobBuilder, Timestamp, Trace};
+///
+/// // 40 small jobs and 4 huge ones: the small/large dichotomy of Table 2.
+/// let jobs = (0..44u64)
+///     .map(|i| {
+///         let huge = i % 11 == 10;
+///         JobBuilder::new(i)
+///             .submit(Timestamp::from_secs(i * 60))
+///             .input(if huge { DataSize::from_tb(2) } else { DataSize::from_mb(8) })
+///             .map_task_time(Dur::from_secs(if huge { 90_000 } else { 30 }))
+///             .tasks(2, 0)
+///             .build()
+///             .unwrap()
+///     })
+///     .collect();
+/// let trace = Trace::new(WorkloadKind::Custom("demo".into()), 10, jobs).unwrap();
+///
+/// let model = KMeans::fit(&trace, KMeansConfig { k: 2, ..Default::default() });
+/// // Clusters come back in population order; the small-job blob dominates.
+/// assert_eq!(model.clusters.len(), 2);
+/// assert_eq!(model.clusters[0].count, 40);
+/// assert_eq!(model.clusters[0].label, "Small jobs");
+/// assert_eq!(model.assignments.len(), trace.len());
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KMeans {
     /// Configuration used.

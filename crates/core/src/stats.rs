@@ -7,6 +7,15 @@ use serde::{Deserialize, Serialize};
 ///
 /// Every figure-1-style CDF in the paper is one of these; the harness
 /// evaluates it at log-spaced points to print the published curves.
+///
+/// ```
+/// use swim_core::stats::Ecdf;
+///
+/// let sizes = Ecdf::new(vec![1.0, 2.0, 2.0, 8.0, 100.0]);
+/// assert_eq!(sizes.median(), 2.0);
+/// assert_eq!(sizes.quantile(1.0), 100.0);
+/// assert_eq!(sizes.cdf(2.0), 0.6); // 3 of 5 samples are ≤ 2
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Ecdf {
     sorted: Vec<f64>,

@@ -11,6 +11,32 @@ use serde::{Deserialize, Serialize};
 use swim_trace::Trace;
 
 /// Hour-granularity submission time series for one trace.
+///
+/// ```
+/// use swim_core::timeseries::HourlySeries;
+/// use swim_trace::trace::WorkloadKind;
+/// use swim_trace::{DataSize, Dur, JobBuilder, Timestamp, Trace};
+///
+/// // Two jobs in hour 0, one in hour 2.
+/// let jobs = [0u64, 1800, 7700]
+///     .iter()
+///     .enumerate()
+///     .map(|(id, &secs)| {
+///         JobBuilder::new(id as u64)
+///             .submit(Timestamp::from_secs(secs))
+///             .input(DataSize::from_mb(10))
+///             .map_task_time(Dur::from_secs(60))
+///             .tasks(1, 0)
+///             .build()
+///             .unwrap()
+///     })
+///     .collect();
+/// let trace = Trace::new(WorkloadKind::Custom("demo".into()), 4, jobs).unwrap();
+///
+/// let series = HourlySeries::of(&trace);
+/// assert_eq!(series.jobs, vec![2.0, 0.0, 1.0]);
+/// assert_eq!(series.task_seconds, vec![120.0, 0.0, 60.0]);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HourlySeries {
     /// Jobs submitted per hour.

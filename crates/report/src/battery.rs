@@ -1,0 +1,772 @@
+//! The per-trace experiment battery: every `fig*`/`table*` analysis of
+//! the paper, reduced to comparable per-trace measurements.
+//!
+//! Where `swim-bench`'s experiment modules reproduce the *published
+//! artifacts* (one report over the calibrated seven-workload corpus, with
+//! the paper's values alongside), this module answers the cross-trace
+//! question: *given any N traces, how do they compare on each analysis?*
+//! Each battery entry maps one trace to an [`ExperimentResult`] — named
+//! scalar metrics, optionally with hourly series for sparklines — and the
+//! [`crate::compare`] pipeline fans the battery across traces in parallel
+//! and assembles one trace×metric table per experiment.
+//!
+//! Traces are wrapped in a [`TraceContext`] so cheap questions stay cheap:
+//! a `swim-store` input answers its Table-1 row via the columnar
+//! `par_summary` scan and its weekly series via a chunk-skipping range
+//! scan, and the full job vector is materialized at most once, lazily,
+//! when the first distribution-level analysis asks for it.
+
+use std::path::Path;
+use std::sync::OnceLock;
+use swim_core::access::{FileAccessStats, PathStage};
+use swim_core::burstiness::Burstiness;
+use swim_core::fourier::detect_diurnal;
+use swim_core::kmeans::{FeatureScaling, KMeansConfig};
+use swim_core::locality::LocalityStats;
+use swim_core::names::NameAnalysis;
+use swim_core::stats::Ecdf;
+use swim_core::timeseries::HourlySeries;
+use swim_core::KMeans;
+use swim_sim::{SimConfig, Simulator};
+use swim_synth::sample::{sample_windows, SampleConfig};
+use swim_synth::scaledown::{scale_trace, ScaleConfig, ScaleMode};
+use swim_synth::validate::SynthesisReport;
+use swim_synth::ReplayPlan;
+use swim_trace::time::WEEK;
+use swim_trace::trace::WorkloadKind;
+use swim_trace::{Dur, Trace, TraceSummary};
+
+use crate::render::{bytes, pct, ratio};
+
+/// One measured value, tagged with how it should render.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An integer count.
+    Count(u64),
+    /// A byte quantity (rendered in the paper's decimal units).
+    Bytes(f64),
+    /// A duration in seconds (rendered `{:.0} s`).
+    Seconds(f64),
+    /// A fraction in `[0, 1]` (rendered as a percentage).
+    Fraction(f64),
+    /// A peak-to-median style ratio (rendered `N:1`).
+    Ratio(f64),
+    /// A dimensionless number (rendered `{:.2}`).
+    Number(f64),
+    /// Free-form text.
+    Text(String),
+}
+
+impl Value {
+    /// Render for a comparison-table cell. Non-finite numerics render as
+    /// `-` (the "not measurable" cell).
+    pub fn render(&self) -> String {
+        match self {
+            Value::Count(n) => n.to_string(),
+            Value::Bytes(b) if b.is_finite() => bytes(*b),
+            Value::Seconds(s) if s.is_finite() => format!("{s:.0} s"),
+            Value::Fraction(f) if f.is_finite() => pct(*f),
+            Value::Ratio(r) if r.is_finite() => ratio(*r),
+            Value::Number(x) if x.is_finite() => format!("{x:.2}"),
+            Value::Text(t) => t.clone(),
+            _ => "-".to_owned(),
+        }
+    }
+}
+
+/// One named metric of one experiment on one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Column name in the comparison table.
+    pub name: &'static str,
+    /// The measured value.
+    pub value: Value,
+}
+
+impl Metric {
+    /// Construct a metric.
+    pub fn new(name: &'static str, value: Value) -> Metric {
+        Metric { name, value }
+    }
+}
+
+/// One named hourly series of one experiment on one trace (sparkline
+/// source in the comparison report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Row label.
+    pub name: &'static str,
+    /// The series values.
+    pub values: Vec<f64>,
+}
+
+/// Structured result of one experiment on one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentResult {
+    /// Named scalar metrics (most experiments).
+    Metrics(Vec<Metric>),
+    /// Hourly series for sparklines, plus derived scalar metrics.
+    Series {
+        /// The series, in presentation order.
+        series: Vec<Series>,
+        /// Derived scalars.
+        metrics: Vec<Metric>,
+    },
+    /// The experiment does not apply to this trace (with the reason —
+    /// e.g. no path information, no job names).
+    Skipped(&'static str),
+}
+
+impl ExperimentResult {
+    /// The scalar metrics, if any.
+    pub fn metrics(&self) -> &[Metric] {
+        match self {
+            ExperimentResult::Metrics(m) => m,
+            ExperimentResult::Series { metrics, .. } => metrics,
+            ExperimentResult::Skipped(_) => &[],
+        }
+    }
+
+    /// The series, if any.
+    pub fn series(&self) -> &[Series] {
+        match self {
+            ExperimentResult::Series { series, .. } => series,
+            _ => &[],
+        }
+    }
+}
+
+/// How a trace entered the pipeline.
+enum Source {
+    /// Fully materialized at load (CSV / JSON-lines / generated).
+    Memory,
+    /// Backed by an open columnar store; materialized lazily.
+    Store(swim_store::Store),
+}
+
+/// One input trace plus cached derived data, shared (immutably) by every
+/// worker thread of the comparison pipeline.
+pub struct TraceContext {
+    /// Display label (file stem for loaded files).
+    label: String,
+    source: Source,
+    summary: TraceSummary,
+    trace: OnceLock<Trace>,
+    weekly: OnceLock<HourlySeries>,
+    // Full-trace derived statistics shared by several battery entries
+    // (fig2+fig3, fig5+fig6, fig8+fig9): computed once per trace, not
+    // once per experiment — on a million-job trace each recomputation is
+    // an O(jobs) pass.
+    hourly: OnceLock<HourlySeries>,
+    locality: OnceLock<LocalityStats>,
+    input_access: OnceLock<FileAccessStats>,
+}
+
+impl TraceContext {
+    /// Wrap an in-memory trace.
+    pub fn from_trace(label: impl Into<String>, trace: Trace) -> TraceContext {
+        let summary = trace.summary();
+        let cell = OnceLock::new();
+        cell.set(trace).expect("fresh cell");
+        TraceContext {
+            label: label.into(),
+            source: Source::Memory,
+            summary,
+            trace: cell,
+            weekly: OnceLock::new(),
+            hourly: OnceLock::new(),
+            locality: OnceLock::new(),
+            input_access: OnceLock::new(),
+        }
+    }
+
+    /// Load a trace file. The format is inferred from the extension
+    /// (`.csv`, `.swim`/`.store`, anything else JSON-lines); CSV inputs
+    /// take the workload label from the file stem and the given machine
+    /// count. Store inputs answer their summary through the columnar
+    /// `par_summary` scan without materializing the trace.
+    pub fn load(path: impl AsRef<Path>, csv_machines: u32) -> Result<TraceContext, String> {
+        let path = path.as_ref();
+        let label = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+        match ext {
+            "swim" | "store" => {
+                let store = swim_store::Store::open(path)
+                    .map_err(|e| format!("open {}: {e}", path.display()))?;
+                // The parallel columnar scan, not the O(1) footer copy:
+                // this both verifies the stored summary and keeps the
+                // whole-file read off the critical path of experiments
+                // that never need per-job data.
+                let summary = store
+                    .par_summary()
+                    .map_err(|e| format!("scan {}: {e}", path.display()))?;
+                Ok(TraceContext {
+                    label,
+                    source: Source::Store(store),
+                    summary,
+                    trace: OnceLock::new(),
+                    weekly: OnceLock::new(),
+                    hourly: OnceLock::new(),
+                    locality: OnceLock::new(),
+                    input_access: OnceLock::new(),
+                })
+            }
+            "csv" => {
+                let file = std::fs::File::open(path)
+                    .map_err(|e| format!("open {}: {e}", path.display()))?;
+                let trace = swim_trace::io::read_csv(
+                    WorkloadKind::Custom(label.clone()),
+                    csv_machines,
+                    file,
+                )
+                .map_err(|e| format!("parse {}: {e}", path.display()))?;
+                Ok(TraceContext::from_trace(label, trace))
+            }
+            _ => {
+                let file = std::fs::File::open(path)
+                    .map_err(|e| format!("open {}: {e}", path.display()))?;
+                let trace = swim_trace::io::read_jsonl(file)
+                    .map_err(|e| format!("parse {}: {e}", path.display()))?;
+                Ok(TraceContext::from_trace(label, trace))
+            }
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The Table-1 row (from `par_summary` for store inputs).
+    pub fn summary(&self) -> &TraceSummary {
+        &self.summary
+    }
+
+    /// The full trace, materialized at most once.
+    pub fn trace(&self) -> &Trace {
+        self.trace.get_or_init(|| match &self.source {
+            Source::Memory => unreachable!("memory contexts are materialized at construction"),
+            Source::Store(store) => store
+                .read_trace()
+                .expect("store decoded once at load; chunks decode identically"),
+        })
+    }
+
+    /// First-week hourly series. Store inputs always compute it with a
+    /// chunk-skipping range scan (no trace materialization, and no
+    /// dependence on whether another experiment happened to materialize
+    /// the trace first — the code path must not vary with thread
+    /// scheduling); in-memory inputs bin the first week directly. A test
+    /// pins the two paths bit-identical.
+    pub fn weekly(&self) -> &HourlySeries {
+        self.weekly.get_or_init(|| match &self.source {
+            Source::Store(store) => {
+                let start = store.stored_summary().min_submit;
+                let scan = store
+                    .scan_range(start, start + Dur::from_secs(WEEK))
+                    .expect("store decoded once at load; chunks decode identically");
+                HourlySeries::from_jobs(scan.jobs().map(|j| j.expect("store chunk decodes")))
+            }
+            _ => HourlySeries::of(&self.trace().first_week()),
+        })
+    }
+
+    /// Whole-trace hourly series (fig8's burstiness signal and fig9's
+    /// correlations), computed once.
+    pub fn hourly(&self) -> &HourlySeries {
+        self.hourly.get_or_init(|| HourlySeries::of(self.trace()))
+    }
+
+    /// Re-access locality statistics (fig5, fig6), computed once.
+    pub fn locality(&self) -> &LocalityStats {
+        self.locality
+            .get_or_init(|| LocalityStats::gather(self.trace()))
+    }
+
+    /// Input-stage file access statistics (fig2, fig3), computed once.
+    pub fn input_access(&self) -> &FileAccessStats {
+        self.input_access
+            .get_or_init(|| FileAccessStats::gather(self.trace(), PathStage::Input))
+    }
+}
+
+/// One battery entry: an experiment id, a section title for the
+/// comparison report, and the per-trace measurement.
+pub struct CompareExperiment {
+    /// Experiment id (`table1`, `fig1` … `fig10`, `table2`, `swim`).
+    pub id: &'static str,
+    /// Comparison-report section title.
+    pub title: &'static str,
+    /// Run the measurement on one trace.
+    pub run: fn(&TraceContext) -> ExperimentResult,
+}
+
+/// The full battery, in paper order (one entry per `swim-repro`
+/// experiment id).
+pub const BATTERY: [CompareExperiment; 13] = [
+    CompareExperiment {
+        id: "table1",
+        title: "Table 1: Trace summaries",
+        run: table1,
+    },
+    CompareExperiment {
+        id: "fig1",
+        title: "Figure 1: Per-job data size distributions",
+        run: fig1,
+    },
+    CompareExperiment {
+        id: "fig2",
+        title: "Figure 2: Zipf-like file access skew",
+        run: fig2,
+    },
+    CompareExperiment {
+        id: "fig3",
+        title: "Figure 3: Access patterns vs input file size",
+        run: fig3,
+    },
+    CompareExperiment {
+        id: "fig4",
+        title: "Figure 4: Access patterns vs output file size",
+        run: fig4,
+    },
+    CompareExperiment {
+        id: "fig5",
+        title: "Figure 5: Data re-access intervals",
+        run: fig5,
+    },
+    CompareExperiment {
+        id: "fig6",
+        title: "Figure 6: Jobs reading pre-existing data",
+        run: fig6,
+    },
+    CompareExperiment {
+        id: "fig7",
+        title: "Figure 7: Weekly behaviour (first-week hourly series)",
+        run: fig7,
+    },
+    CompareExperiment {
+        id: "fig8",
+        title: "Figure 8: Burstiness",
+        run: fig8,
+    },
+    CompareExperiment {
+        id: "fig9",
+        title: "Figure 9: Correlations between hourly series",
+        run: fig9,
+    },
+    CompareExperiment {
+        id: "fig10",
+        title: "Figure 10: Job names and frameworks",
+        run: fig10,
+    },
+    CompareExperiment {
+        id: "table2",
+        title: "Table 2: Job types via k-means",
+        run: table2,
+    },
+    CompareExperiment {
+        id: "swim",
+        title: "SWIM: synthesize one day and replay at 20 nodes",
+        run: swim,
+    },
+];
+
+/// Target cluster size for the `swim` battery replay (the §7 default).
+pub const SWIM_TARGET_NODES: u32 = 20;
+
+fn table1(ctx: &TraceContext) -> ExperimentResult {
+    let s = ctx.summary();
+    ExperimentResult::Metrics(vec![
+        Metric::new("workload", Value::Text(s.workload.clone())),
+        Metric::new("machines", Value::Count(s.machines as u64)),
+        Metric::new("length", Value::Text(s.length.to_string())),
+        Metric::new("jobs", Value::Count(s.jobs as u64)),
+        Metric::new("bytes moved", Value::Bytes(s.bytes_moved.as_f64())),
+    ])
+}
+
+fn fig1(ctx: &TraceContext) -> ExperimentResult {
+    let jobs = ctx.trace().jobs();
+    if jobs.is_empty() {
+        return ExperimentResult::Skipped("trace has no jobs");
+    }
+    let dim = |pick: fn(&swim_trace::Job) -> f64| Ecdf::new(jobs.iter().map(pick).collect());
+    let input = dim(|j| j.input.as_f64());
+    let shuffle = dim(|j| j.shuffle.as_f64());
+    let output = dim(|j| j.output.as_f64());
+    ExperimentResult::Metrics(vec![
+        Metric::new("input p50", Value::Bytes(input.median())),
+        Metric::new("input p90", Value::Bytes(input.quantile(0.9))),
+        Metric::new("shuffle p50", Value::Bytes(shuffle.median())),
+        Metric::new("shuffle p90", Value::Bytes(shuffle.quantile(0.9))),
+        Metric::new("output p50", Value::Bytes(output.median())),
+        Metric::new("output p90", Value::Bytes(output.quantile(0.9))),
+    ])
+}
+
+fn fig2(ctx: &TraceContext) -> ExperimentResult {
+    let stats = ctx.input_access();
+    let Some(fit) = stats.zipf_fit(Some(300)) else {
+        return ExperimentResult::Skipped("no input path information");
+    };
+    ExperimentResult::Metrics(vec![
+        Metric::new(
+            "distinct files",
+            Value::Count(stats.distinct_files() as u64),
+        ),
+        Metric::new("accesses", Value::Count(stats.total_accesses())),
+        Metric::new("zipf slope", Value::Number(fit.slope)),
+        Metric::new("fit R²", Value::Number(fit.r_squared)),
+    ])
+}
+
+fn size_thresholds(ctx: &TraceContext, stage: PathStage) -> ExperimentResult {
+    let gathered;
+    let stats = match stage {
+        PathStage::Input => ctx.input_access(),
+        PathStage::Output => {
+            gathered = FileAccessStats::gather(ctx.trace(), stage);
+            &gathered
+        }
+    };
+    if stats.distinct_files() == 0 {
+        return ExperimentResult::Skipped(match stage {
+            PathStage::Input => "no input path information",
+            PathStage::Output => "no output path information",
+        });
+    }
+    let gb = swim_trace::DataSize::from_gb(1);
+    let gb16 = swim_trace::DataSize::from_gb(16);
+    ExperimentResult::Metrics(vec![
+        Metric::new(
+            "jobs < 1 GB",
+            Value::Fraction(stats.access_fraction_below(gb)),
+        ),
+        Metric::new(
+            "bytes < 1 GB",
+            Value::Fraction(stats.bytes_fraction_below(gb)),
+        ),
+        Metric::new(
+            "jobs < 16 GB",
+            Value::Fraction(stats.access_fraction_below(gb16)),
+        ),
+        Metric::new(
+            "bytes < 16 GB",
+            Value::Fraction(stats.bytes_fraction_below(gb16)),
+        ),
+        Metric::new(
+            "80-X rule",
+            Value::Number(stats.eighty_x_rule(0.8).unwrap_or(f64::NAN)),
+        ),
+    ])
+}
+
+fn fig3(ctx: &TraceContext) -> ExperimentResult {
+    size_thresholds(ctx, PathStage::Input)
+}
+
+fn fig4(ctx: &TraceContext) -> ExperimentResult {
+    size_thresholds(ctx, PathStage::Output)
+}
+
+fn fig5(ctx: &TraceContext) -> ExperimentResult {
+    let loc = ctx.locality();
+    let n = loc.input_input_intervals.len() + loc.output_input_intervals.len();
+    if n == 0 {
+        return ExperimentResult::Skipped("no re-accesses observable");
+    }
+    ExperimentResult::Metrics(vec![
+        Metric::new("re-accesses", Value::Count(n as u64)),
+        Metric::new("within 1 hr", Value::Fraction(loc.fraction_within(3_600.0))),
+        Metric::new(
+            "within 6 hrs",
+            Value::Fraction(loc.fraction_within(6.0 * 3_600.0)),
+        ),
+    ])
+}
+
+fn fig6(ctx: &TraceContext) -> ExperimentResult {
+    let loc = ctx.locality();
+    if loc.frac_jobs_reaccessing() == 0.0 {
+        return ExperimentResult::Skipped("no re-accesses observable");
+    }
+    ExperimentResult::Metrics(vec![
+        Metric::new(
+            "re-reads pre-existing input",
+            Value::Fraction(loc.frac_jobs_reread_input),
+        ),
+        Metric::new(
+            "consumes pre-existing output",
+            Value::Fraction(loc.frac_jobs_consume_output),
+        ),
+        Metric::new(
+            "total re-accessing",
+            Value::Fraction(loc.frac_jobs_reaccessing()),
+        ),
+    ])
+}
+
+fn fig7(ctx: &TraceContext) -> ExperimentResult {
+    let series = ctx.weekly().truncate(24 * 7);
+    if series.is_empty() {
+        return ExperimentResult::Skipped("trace has no jobs");
+    }
+    let diurnal = detect_diurnal(&series.jobs, 3.0);
+    ExperimentResult::Series {
+        metrics: vec![
+            Metric::new(
+                "diurnal snr",
+                Value::Number(diurnal.as_ref().map(|d| d.snr).unwrap_or(f64::NAN)),
+            ),
+            Metric::new(
+                "daily cycle",
+                Value::Text(match &diurnal {
+                    Some(d) if d.detected => "detected".to_owned(),
+                    Some(_) => "no clear cycle".to_owned(),
+                    None => "series too short".to_owned(),
+                }),
+            ),
+        ],
+        series: vec![
+            Series {
+                name: "jobs/hr",
+                values: series.jobs,
+            },
+            Series {
+                name: "io/hr",
+                values: series.bytes,
+            },
+            Series {
+                name: "task-t/hr",
+                values: series.task_seconds,
+            },
+        ],
+    }
+}
+
+fn fig8(ctx: &TraceContext) -> ExperimentResult {
+    let series = ctx.hourly();
+    let task = Burstiness::of(&series.task_seconds, &[]);
+    let jobs = Burstiness::of(&series.jobs, &[]);
+    match (task, jobs) {
+        (Some(task), Some(jobs)) => ExperimentResult::Metrics(vec![
+            Metric::new("task-time peak:median", Value::Ratio(task.peak_to_median)),
+            Metric::new("submissions peak:median", Value::Ratio(jobs.peak_to_median)),
+        ]),
+        _ => ExperimentResult::Skipped("hourly signal is empty or all-zero"),
+    }
+}
+
+fn fig9(ctx: &TraceContext) -> ExperimentResult {
+    let c = ctx.hourly().correlations();
+    ExperimentResult::Metrics(vec![
+        Metric::new("jobs-bytes", Value::Number(c.jobs_bytes)),
+        Metric::new("jobs-task-secs", Value::Number(c.jobs_task_seconds)),
+        Metric::new("bytes-task-secs", Value::Number(c.bytes_task_seconds)),
+    ])
+}
+
+fn fig10(ctx: &TraceContext) -> ExperimentResult {
+    let analysis = NameAnalysis::of(ctx.trace());
+    if !analysis.has_names() {
+        return ExperimentResult::Skipped("trace carries no job names");
+    }
+    let top = analysis
+        .sorted_by(swim_core::names::Weighting::Jobs)
+        .into_iter()
+        .next()
+        .expect("has_names implies at least one group");
+    let shares = analysis.framework_shares();
+    let top2: f64 = shares.iter().take(2).map(|s| s.jobs).sum();
+    ExperimentResult::Metrics(vec![
+        Metric::new("top word", Value::Text(top.word.clone())),
+        Metric::new(
+            "top word share",
+            Value::Fraction(top.jobs as f64 / analysis.total_jobs.max(1) as f64),
+        ),
+        Metric::new(
+            "top-5 words cover",
+            Value::Fraction(analysis.top_k_job_share(5)),
+        ),
+        Metric::new("top-2 frameworks", Value::Fraction(top2)),
+    ])
+}
+
+fn table2(ctx: &TraceContext) -> ExperimentResult {
+    let trace = ctx.trace();
+    if trace.len() < 10 {
+        return ExperimentResult::Skipped("too few jobs to cluster");
+    }
+    // Raw feature space and the 0.5 elbow, as in the Table 2 reproduction:
+    // raw distance isolates the tiny huge-data clusters that matter.
+    let model = KMeans::fit_with_elbow(
+        trace,
+        8,
+        0.5,
+        KMeansConfig {
+            scaling: FeatureScaling::Raw,
+            ..Default::default()
+        },
+    );
+    let total: u64 = model.clusters.iter().map(|c| c.count).sum();
+    let dominant = &model.clusters[0];
+    ExperimentResult::Metrics(vec![
+        Metric::new("job types (elbow k)", Value::Count(model.config.k as u64)),
+        Metric::new(
+            "dominant share",
+            Value::Fraction(dominant.count as f64 / total.max(1) as f64),
+        ),
+        Metric::new("dominant label", Value::Text(dominant.label.clone())),
+        Metric::new("dominant input", Value::Bytes(dominant.input.as_f64())),
+    ])
+}
+
+fn swim(ctx: &TraceContext) -> ExperimentResult {
+    let trace = ctx.trace();
+    if trace.len() < 24 {
+        return ExperimentResult::Skipped("too few jobs to sample a synthetic day");
+    }
+    let sampled = sample_windows(trace, SampleConfig::one_day_from_hours(7));
+    if sampled.is_empty() {
+        return ExperimentResult::Skipped("sampled day is empty");
+    }
+    let report = SynthesisReport::compare(trace, &sampled);
+    let scaled = scale_trace(
+        &sampled,
+        ScaleConfig {
+            target_machines: SWIM_TARGET_NODES,
+            mode: ScaleMode::DataSize,
+            seed: 0,
+        },
+    );
+    let plan = ReplayPlan::from_trace(&scaled);
+    let result = Simulator::new(SimConfig::new(SWIM_TARGET_NODES)).run(&plan, None);
+    ExperimentResult::Metrics(vec![
+        Metric::new("sampled jobs", Value::Count(sampled.len() as u64)),
+        Metric::new("worst KS", Value::Number(report.worst())),
+        Metric::new("makespan", Value::Text(result.makespan.to_string())),
+        Metric::new("median latency", Value::Seconds(result.median_latency())),
+        Metric::new(
+            "mean queue delay",
+            Value::Seconds(result.mean_queue_delay()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
+
+    fn sample_trace() -> Trace {
+        WorkloadGenerator::new(
+            GeneratorConfig::new(WorkloadKind::CcE)
+                .scale(0.3)
+                .days(2.0)
+                .seed(9),
+        )
+        .generate()
+    }
+
+    #[test]
+    fn battery_ids_match_paper_order() {
+        let ids: Vec<&str> = BATTERY.iter().map(|e| e.id).collect();
+        assert_eq!(
+            ids,
+            [
+                "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+                "fig10", "table2", "swim"
+            ]
+        );
+    }
+
+    #[test]
+    fn battery_runs_on_an_in_memory_trace() {
+        let ctx = TraceContext::from_trace("cc-e", sample_trace());
+        for exp in &BATTERY {
+            let result = (exp.run)(&ctx);
+            match &result {
+                ExperimentResult::Skipped(reason) => {
+                    panic!("{} skipped a path-bearing named trace: {reason}", exp.id)
+                }
+                other => assert!(
+                    !other.metrics().is_empty() || !other.series().is_empty(),
+                    "{} produced nothing",
+                    exp.id
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn store_context_matches_memory_context() {
+        let trace = sample_trace();
+        let dir = std::env::temp_dir().join(format!("swim-report-ctx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cc-e.swim");
+        swim_store::write_store_path(&trace, &path, &swim_store::StoreOptions::default()).unwrap();
+
+        let mem = TraceContext::from_trace("cc-e", trace.clone());
+        let store = TraceContext::load(&path, 100).unwrap();
+        assert_eq!(store.label(), "cc-e");
+        assert_eq!(store.summary(), &trace.summary(), "par_summary path");
+        // Weekly series must come out identical whether computed by store
+        // range scan or from the in-memory first week.
+        assert_eq!(store.weekly(), mem.weekly());
+        // Every battery entry must agree bit-for-bit across sources.
+        for exp in &BATTERY {
+            assert_eq!((exp.run)(&store), (exp.run)(&mem), "{}", exp.id);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn value_rendering_covers_all_variants() {
+        assert_eq!(Value::Count(42).render(), "42");
+        assert_eq!(Value::Bytes(1.2e12).render(), "1.20 TB");
+        assert_eq!(Value::Seconds(61.4).render(), "61 s");
+        assert_eq!(Value::Fraction(0.805).render(), "80%");
+        assert_eq!(Value::Ratio(31.2).render(), "31:1");
+        assert_eq!(Value::Number(0.527).render(), "0.53");
+        assert_eq!(Value::Text("x".into()).render(), "x");
+        assert_eq!(Value::Number(f64::NAN).render(), "-");
+        assert_eq!(Value::Bytes(f64::INFINITY).render(), "-");
+    }
+
+    #[test]
+    fn pathless_nameless_trace_skips_path_and_name_experiments() {
+        use swim_trace::{DataSize, JobBuilder, Timestamp};
+        let jobs = (0..200u64)
+            .map(|i| {
+                JobBuilder::new(i)
+                    .submit(Timestamp::from_secs(i * 120))
+                    .duration(Dur::from_secs(60))
+                    .input(DataSize::from_mb(64 + i))
+                    .map_task_time(Dur::from_secs(100))
+                    .tasks(2, 0)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let trace = Trace::new(WorkloadKind::Custom("bare".into()), 10, jobs).unwrap();
+        let ctx = TraceContext::from_trace("bare", trace);
+        for id in ["fig2", "fig3", "fig4", "fig5", "fig6", "fig10"] {
+            let exp = BATTERY.iter().find(|e| e.id == id).unwrap();
+            assert!(
+                matches!((exp.run)(&ctx), ExperimentResult::Skipped(_)),
+                "{id} should skip a pathless/nameless trace"
+            );
+        }
+        // The data-only experiments still run.
+        for id in ["table1", "fig1", "fig7", "fig8", "fig9", "table2"] {
+            let exp = BATTERY.iter().find(|e| e.id == id).unwrap();
+            assert!(
+                !matches!((exp.run)(&ctx), ExperimentResult::Skipped(_)),
+                "{id} should run on a pathless trace"
+            );
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The cross-trace comparison pipeline: fan the [`crate::battery`] across
+//! N traces in parallel and assemble one [`Report`].
+//!
+//! The paper's actual deliverable is the *comparison* — the same analysis
+//! battery over seven industrial workloads side by side. This module
+//! generalizes that to any set of traces: every trace × experiment cell
+//! is an independent measurement, so workers claim cells from a shared
+//! counter (the same pattern as `swim-sim`'s scenario sweeps and
+//! `swim-store`'s `par_scan`) and results land in grid order. Thread
+//! count and scheduling therefore never affect the output: a parallel run
+//! is bit-identical to a serial one, and the rendered document is
+//! deterministic across runs.
+
+use crate::battery::{ExperimentResult, TraceContext, BATTERY};
+use crate::doc::{Block, Report, Section};
+use crate::render::Table;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A configured comparison over a set of traces.
+pub struct Comparison {
+    contexts: Vec<TraceContext>,
+}
+
+impl Comparison {
+    /// Compare the given traces (report rows keep this order).
+    pub fn new(contexts: Vec<TraceContext>) -> Comparison {
+        Comparison { contexts }
+    }
+
+    /// The wrapped trace contexts, in row order.
+    pub fn contexts(&self) -> &[TraceContext] {
+        &self.contexts
+    }
+
+    /// Run the full battery over every trace on all cores and assemble
+    /// the comparison report.
+    pub fn run(&self) -> Report {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.run_with_threads(threads)
+    }
+
+    /// Run with an explicit worker count (`1` = serial). The result is
+    /// bit-identical for every thread count.
+    pub fn run_with_threads(&self, threads: usize) -> Report {
+        let cells = self.measure(threads.max(1));
+        self.assemble(&cells)
+    }
+
+    /// Measure every trace × experiment cell, in grid order
+    /// (`experiment-major`: cell `e * n_traces + t`).
+    fn measure(&self, threads: usize) -> Vec<ExperimentResult> {
+        let n_cells = BATTERY.len() * self.contexts.len();
+        if n_cells == 0 {
+            return Vec::new();
+        }
+        let threads = threads.min(n_cells);
+        let contexts = &self.contexts;
+        let cursor = AtomicUsize::new(0);
+        let cursor_ref = &cursor;
+        let mut slots: Vec<Option<ExperimentResult>> = Vec::new();
+        slots.resize_with(n_cells, || None);
+        let indexed: Vec<(usize, ExperimentResult)> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(move |_| {
+                        let mut mine: Vec<(usize, ExperimentResult)> = Vec::new();
+                        loop {
+                            let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_cells {
+                                break;
+                            }
+                            let exp = &BATTERY[i / contexts.len()];
+                            let ctx = &contexts[i % contexts.len()];
+                            mine.push((i, (exp.run)(ctx)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("comparison worker panicked"))
+                .collect()
+        })
+        .expect("comparison scope");
+        for (i, result) in indexed {
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every cell claimed exactly once"))
+            .collect()
+    }
+
+    /// Assemble the report from measured cells (pure; grid order in,
+    /// presentation order out).
+    fn assemble(&self, cells: &[ExperimentResult]) -> Report {
+        let mut report = Report::new(format!(
+            "Cross-trace comparison — {} trace{}",
+            self.contexts.len(),
+            if self.contexts.len() == 1 { "" } else { "s" }
+        ));
+        // No separate overview section: the battery's leading `table1`
+        // entry *is* the per-trace summary table (computed through
+        // `par_summary` for store inputs), so rendering both would print
+        // the same rows twice.
+        for (e, exp) in BATTERY.iter().enumerate() {
+            let row = &cells[e * self.contexts.len()..(e + 1) * self.contexts.len()];
+            report.push(self.experiment_section(exp.title, row));
+        }
+        report
+    }
+
+    /// One experiment's comparison section: a trace×metric table, series
+    /// sparklines grouped per series name, and a note for skipped traces.
+    fn experiment_section(&self, title: &str, row: &[ExperimentResult]) -> Section {
+        let mut section = Section::new(title);
+
+        // Column union in first-appearance order across traces.
+        let mut columns: Vec<&'static str> = Vec::new();
+        for result in row {
+            for metric in result.metrics() {
+                if !columns.contains(&metric.name) {
+                    columns.push(metric.name);
+                }
+            }
+        }
+
+        if !columns.is_empty() {
+            let mut header = vec!["Trace".to_owned()];
+            header.extend(columns.iter().map(|c| (*c).to_owned()));
+            let mut table = Table::new(header);
+            for (ctx, result) in self.contexts.iter().zip(row) {
+                if matches!(result, ExperimentResult::Skipped(_)) {
+                    continue;
+                }
+                let mut cells = vec![ctx.label().to_owned()];
+                for col in &columns {
+                    cells.push(
+                        result
+                            .metrics()
+                            .iter()
+                            .find(|m| m.name == *col)
+                            .map(|m| m.value.render())
+                            .unwrap_or_else(|| "-".to_owned()),
+                    );
+                }
+                table.row(cells);
+            }
+            section.table(table);
+        }
+
+        // Sparklines: group rows per series name so traces align visually.
+        let mut series_names: Vec<&'static str> = Vec::new();
+        for result in row {
+            for s in result.series() {
+                if !series_names.contains(&s.name) {
+                    series_names.push(s.name);
+                }
+            }
+        }
+        for name in series_names {
+            section.prose(format!("{name} per trace:\n"));
+            for (ctx, result) in self.contexts.iter().zip(row) {
+                if let Some(s) = result.series().iter().find(|s| s.name == name) {
+                    section.push(Block::spark(ctx.label().to_owned(), s.values.clone(), ""));
+                }
+            }
+        }
+
+        let skipped: Vec<String> = self
+            .contexts
+            .iter()
+            .zip(row)
+            .filter_map(|(ctx, result)| match result {
+                ExperimentResult::Skipped(reason) => Some(format!("{} ({reason})", ctx.label())),
+                _ => None,
+            })
+            .collect();
+        if !skipped.is_empty() {
+            section.prose(format!("Not applicable: {}.\n", skipped.join("; ")));
+        }
+        section
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swim_trace::trace::WorkloadKind;
+    use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
+
+    fn contexts() -> Vec<TraceContext> {
+        [(WorkloadKind::CcB, 21u64), (WorkloadKind::CcE, 23)]
+            .into_iter()
+            .map(|(kind, seed)| {
+                let label = kind.label().to_lowercase();
+                let trace = WorkloadGenerator::new(
+                    GeneratorConfig::new(kind).scale(0.3).days(2.0).seed(seed),
+                )
+                .generate();
+                TraceContext::from_trace(label, trace)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn report_has_one_section_per_experiment() {
+        let report = Comparison::new(contexts()).run_with_threads(2);
+        assert_eq!(report.sections.len(), BATTERY.len());
+        assert_eq!(report.sections[0].title, "Table 1: Trace summaries");
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let comparison = Comparison::new(contexts());
+        let serial = comparison.run_with_threads(1);
+        let parallel = comparison.run_with_threads(8);
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            crate::markdown::render_report(&serial),
+            crate::markdown::render_report(&parallel)
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_across_invocations() {
+        let a = Comparison::new(contexts()).run_with_threads(4);
+        let b = Comparison::new(contexts()).run_with_threads(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_trace_appears_in_every_applicable_table() {
+        let report = Comparison::new(contexts()).run();
+        let md = crate::markdown::render_report(&report);
+        assert!(md.contains("| cc-b |"));
+        assert!(md.contains("| cc-e |"));
+        assert!(md.contains("jobs/hr per trace:"));
+    }
+
+    #[test]
+    fn empty_comparison_produces_headers_only() {
+        let report = Comparison::new(Vec::new()).run();
+        assert_eq!(report.sections.len(), BATTERY.len());
+        let md = crate::markdown::render_report(&report);
+        assert!(md.contains("# Cross-trace comparison — 0 traces"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Shared rendering primitives: aligned ASCII tables, unicode sparklines,
+//! and the paper's number formats.
+//!
+//! These began life in `swim-bench`'s terminal reports and moved here when
+//! the document model ([`crate::doc`]) took over rendering; `swim-bench`
+//! re-exports them unchanged, and the text renderer reproduces the
+//! historical terminal output byte for byte.
+
+/// A simple left-aligned ASCII table.
+///
+/// ```
+/// use swim_report::render::Table;
+///
+/// let mut t = Table::new(vec!["workload", "jobs"]);
+/// t.row(vec!["CC-a", "531"]);
+/// assert!(t.render().starts_with("workload  jobs\n"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row. Rows shorter than the header are padded.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Render to a string with aligned columns and a separator line.
+    ///
+    /// Column widths are computed over *byte* lengths, as the historical
+    /// terminal reports did; the golden-output tests pin this behaviour.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        if cols == 0 {
+            // A table with no columns has nothing to align or separate
+            // (and the separator-width arithmetic below assumes cols ≥ 1).
+            return String::new();
+        }
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                if i + 1 < cells.len() {
+                    line.push_str(&" ".repeat(widths[i].saturating_sub(cell.len())));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a numeric series as a unicode sparkline (8 levels). Empty input
+/// yields an empty string; a constant series renders mid-level; NaN and
+/// infinities render as `?`.
+///
+/// ```
+/// use swim_report::render::sparkline;
+///
+/// assert_eq!(sparkline(&[0.0, 1.0, 2.0, 3.0]), "▁▃▆█");
+/// assert_eq!(sparkline(&[]), "");
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let range = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return '?';
+            }
+            if range <= 0.0 {
+                return LEVELS[3];
+            }
+            let idx = ((v - min) / range * 7.0).round() as usize;
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Format a ratio like `31:1`.
+pub fn ratio(r: f64) -> String {
+    if r >= 10.0 {
+        format!("{:.0}:1", r)
+    } else {
+        format!("{:.1}:1", r)
+    }
+}
+
+/// Format a fraction as a percentage with sensible precision.
+pub fn pct(f: f64) -> String {
+    let p = f * 100.0;
+    if p >= 10.0 {
+        format!("{p:.0}%")
+    } else if p >= 1.0 {
+        format!("{p:.1}%")
+    } else {
+        format!("{p:.2}%")
+    }
+}
+
+/// Format a byte count in the paper's decimal units.
+pub fn bytes(b: f64) -> String {
+    swim_trace::DataSize::from_f64(b).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_exposes_header_and_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        assert_eq!(t.header(), ["a", "b"]);
+        assert_eq!(t.rows(), [["1", "2"]]);
+    }
+
+    #[test]
+    fn zero_column_table_renders_empty() {
+        let mut t = Table::new(Vec::<String>::new());
+        t.row(vec!["dropped"]);
+        assert_eq!(t.render(), "");
+    }
+}

@@ -21,7 +21,7 @@
 //! * a parallel **scenario sweep** driver for what-if grids over
 //!   scheduler × cache × cluster size ([`sweep`]);
 //! * the retired per-task engine as a semantic reference and benchmark
-//!   baseline ([`reference`]).
+//!   baseline ([`mod@reference`]).
 //!
 //! The task model is deliberately the paper's own abstraction: a job is
 //! its task-time vector; each task occupies one slot for

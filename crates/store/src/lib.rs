@@ -8,7 +8,7 @@
 //! Three layers:
 //!
 //! 1. **Codec** — [`write_store`] / [`Store`]: a little-endian layout
-//!    (header / chunks / footer / trailer, see [`format`]) with per-column
+//!    (header / chunks / footer / trailer, see [`mod@format`]) with per-column
 //!    delta + LEB128-varint encoding. Round trips are bit-exact for every
 //!    [`swim_trace::Job`] field.
 //! 2. **Scans** — [`Store::scan`] streams chunks at bounded memory;

@@ -17,7 +17,10 @@
 //! * [`sim`] — a discrete-event MapReduce cluster simulator for replays;
 //! * [`store`] — a columnar, chunked binary trace store with parallel
 //!   chunked scans, for million-job histories that should not be
-//!   re-parsed from text (or held in RAM) on every analysis.
+//!   re-parsed from text (or held in RAM) on every analysis;
+//! * [`report`] — the document model (report → section → block), the
+//!   Markdown/HTML renderers, and the parallel cross-trace comparison
+//!   pipeline behind the `swim-report` binary.
 //!
 //! ## Quick start
 //!
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub use swim_core as core;
+pub use swim_report as report;
 pub use swim_sim as sim;
 pub use swim_store as store;
 pub use swim_synth as synth;
