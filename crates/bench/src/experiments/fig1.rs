@@ -7,11 +7,47 @@
 
 use crate::render::{bytes, Table};
 use crate::Corpus;
-use swim_core::stats::Ecdf;
+use swim_query::{execute, AggValue, Aggregate, Col, Expr, Query};
 use swim_report::Section;
+use swim_store::{store_to_vec, Store, StoreOptions};
+use swim_trace::Trace;
 
 /// Quantiles printed per stage.
 const QS: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 0.9];
+
+/// The three stage columns of this figure, in presentation order.
+const STAGES: [Col; 3] = [Col::Input, Col::Shuffle, Col::Output];
+
+/// Compute every stage's p10/p25/p50/p75/p90 quantiles through
+/// `swim-query`: encode the trace to the columnar store once, reopen,
+/// and run one query selecting all fifteen percentile aggregates
+/// vectorized over the numeric columns — names and paths are never
+/// decoded. The percentile aggregate uses the same nearest-rank rule as
+/// [`swim_core::stats::Ecdf::quantile`], so this is byte-for-byte the
+/// published table (a test pins the equivalence). Returned in
+/// [`STAGES`] order.
+pub fn store_quantiles(trace: &Trace) -> [Vec<f64>; 3] {
+    let store = Store::from_vec(store_to_vec(trace, &StoreOptions::default()))
+        .expect("freshly encoded store reopens");
+    let mut query = Query::new();
+    for stage in STAGES {
+        for q in QS {
+            query = query.select(Aggregate::Percentile(Expr::col(stage), q));
+        }
+    }
+    let out = execute(&store, &query).expect("in-memory store query cannot fail");
+    let values: Vec<f64> = out.rows[0]
+        .values
+        .iter()
+        .map(|v| match v {
+            AggValue::Float(f) => *f,
+            AggValue::Null => 0.0, // empty trace
+            AggValue::Int(_) => unreachable!("percentiles are floats"),
+        })
+        .collect();
+    let mut stages = values.chunks_exact(QS.len()).map(<[f64]>::to_vec);
+    std::array::from_fn(|_| stages.next().expect("three stages of five quantiles"))
+}
 
 /// Orders of magnitude spanned by the across-workload medians of a stage.
 /// Zero medians are ignored (map-only workload shuffle medians).
@@ -27,30 +63,26 @@ pub fn median_span_orders(medians: &[f64]) -> f64 {
 
 /// Build the Figure 1 document.
 pub fn doc(corpus: &Corpus) -> Section {
-    let mut section =
-        Section::new("Figure 1: Per-job input, shuffle, and output size distributions");
+    let mut section = Section::new(
+        "Figure 1: Per-job input, shuffle, and output size distributions \
+         (quantiles via swim-query percentile aggregates)",
+    );
+    // One store encode + one fifteen-aggregate query per trace.
+    let per_trace: Vec<[Vec<f64>; 3]> = corpus.traces.iter().map(store_quantiles).collect();
     let mut medians = (Vec::new(), Vec::new(), Vec::new());
-    for (stage, pick) in [("input", 0usize), ("shuffle", 1), ("output", 2)] {
+    for (idx, stage) in ["input", "shuffle", "output"].into_iter().enumerate() {
         let mut table = Table::new(vec!["Workload", "p10", "p25", "p50", "p75", "p90"]);
-        for trace in &corpus.traces {
-            let samples: Vec<f64> = trace
-                .jobs()
-                .iter()
-                .map(|j| match pick {
-                    0 => j.input.as_f64(),
-                    1 => j.shuffle.as_f64(),
-                    _ => j.output.as_f64(),
-                })
-                .collect();
-            let ecdf = Ecdf::new(samples);
+        for (trace, quantiles) in corpus.traces.iter().zip(&per_trace) {
+            let quantiles = &quantiles[idx];
             let mut cells = vec![trace.kind.label().to_owned()];
-            for q in QS {
-                cells.push(bytes(ecdf.quantile(q)));
+            for &q in quantiles {
+                cells.push(bytes(q));
             }
-            match pick {
-                0 => medians.0.push(ecdf.median()),
-                1 => medians.1.push(ecdf.median()),
-                _ => medians.2.push(ecdf.median()),
+            let median = quantiles[2]; // QS[2] == 0.5
+            match idx {
+                0 => medians.0.push(median),
+                1 => medians.1.push(median),
+                _ => medians.2.push(median),
             }
             table.row(cells);
         }
@@ -80,6 +112,7 @@ pub fn run(corpus: &Corpus) -> String {
 mod tests {
     use super::*;
     use crate::experiments::tests::test_corpus;
+    use swim_core::stats::Ecdf;
 
     #[test]
     fn median_spans_are_wide() {
@@ -107,5 +140,30 @@ mod tests {
         assert!(r.contains("input size quantiles"));
         assert!(r.contains("shuffle size quantiles"));
         assert!(r.contains("output size quantiles"));
+    }
+
+    #[test]
+    fn query_quantiles_equal_ecdf_quantiles() {
+        // The swim-query percentile aggregate and the in-memory Ecdf must
+        // produce identical values for every trace, stage, and quantile.
+        let corpus = test_corpus();
+        for trace in &corpus.traces {
+            let via_query = store_quantiles(trace);
+            for (pick, quantiles) in via_query.iter().enumerate() {
+                let samples: Vec<f64> = trace
+                    .jobs()
+                    .iter()
+                    .map(|j| match pick {
+                        0 => j.input.as_f64(),
+                        1 => j.shuffle.as_f64(),
+                        _ => j.output.as_f64(),
+                    })
+                    .collect();
+                let ecdf = Ecdf::new(samples);
+                for (&q, &got) in QS.iter().zip(quantiles) {
+                    assert_eq!(got, ecdf.quantile(q), "{} stage {pick} p{q}", trace.kind);
+                }
+            }
+        }
     }
 }

@@ -9,42 +9,76 @@
 use crate::Corpus;
 use swim_core::fourier::detect_diurnal;
 use swim_core::timeseries::HourlySeries;
+use swim_query::{execute, AggValue, Aggregate, Expr, Pred, Query};
 use swim_report::{Block, Section};
 use swim_sim::{SimConfig, Simulator};
 use swim_store::{store_to_vec, Store, StoreOptions};
 use swim_synth::ReplayPlan;
 use swim_trace::time::WEEK;
 use swim_trace::trace::WorkloadKind;
-use swim_trace::{Dur, Trace};
+use swim_trace::Trace;
 
 /// Workloads whose utilization column is produced by replaying on the
 /// simulator (kept to the smaller clusters so `fig7` stays fast; the
 /// paper likewise lacks utilization for CC-c, CC-d, FB-2009).
 pub const REPLAYED: [WorkloadKind; 3] = [WorkloadKind::CcA, WorkloadKind::CcB, WorkloadKind::CcE];
 
-/// The first-week hourly series, computed through the columnar store: the
-/// full trace is encoded once, then the week is read back with a
-/// chunk-skipping time-range scan and binned job-by-job without ever
-/// materializing the window as a `Trace`. This is how the §5 per-window
-/// statistics run against stores bigger than RAM; a test asserts equality
-/// with the in-memory `HourlySeries::of(first_week)` path.
+/// The first-week hourly series, computed through `swim-query`: the full
+/// trace is encoded once, then one grouped query —
+/// `where submit in [start, start+week) group by submit/3600
+/// select count, sum(total_io), sum(total_task_time)` — runs vectorized
+/// over the store with zone maps skipping every chunk outside the week.
+/// No job is ever materialized. This is how the §5 per-window statistics
+/// run against stores bigger than RAM; a test asserts equality with the
+/// in-memory `HourlySeries::of(first_week)` path.
 pub fn store_first_week_series(trace: &Trace) -> HourlySeries {
+    let empty = HourlySeries {
+        jobs: vec![],
+        bytes: vec![],
+        task_seconds: vec![],
+    };
     let store = Store::from_vec(store_to_vec(trace, &StoreOptions::default()))
         .expect("freshly encoded store reopens");
     let Some(start) = trace.start() else {
-        return HourlySeries::from_jobs(std::iter::empty::<swim_trace::Job>());
+        return empty;
     };
-    let scan = store
-        .scan_range(start, start + Dur::from_secs(WEEK))
-        .expect("in-memory store scan cannot fail");
-    HourlySeries::from_jobs(scan.jobs().map(|j| j.expect("in-memory chunk decodes")))
+    let query = Query::new()
+        .filter(Pred::submit_range(start.secs(), start.secs() + WEEK))
+        .group(Expr::submit_hour())
+        .select(Aggregate::Count)
+        .select(Aggregate::Sum(Expr::total_io()))
+        .select(Aggregate::Sum(Expr::total_task_time()));
+    let out = execute(&store, &query).expect("in-memory store query cannot fail");
+    let (Some(first), Some(last)) = (out.rows.first(), out.rows.last()) else {
+        return empty;
+    };
+    // Densify the sparse hour buckets over the observed span, exactly as
+    // `HourlySeries::from_jobs` does for unordered job streams.
+    let (first, last) = (first.key[0], last.key[0]);
+    let n = (last - first + 1) as usize;
+    let mut series = HourlySeries {
+        jobs: vec![0.0; n],
+        bytes: vec![0.0; n],
+        task_seconds: vec![0.0; n],
+    };
+    let int = |v: &AggValue| match v {
+        AggValue::Int(n) => *n as f64,
+        _ => unreachable!("count and sums are integral"),
+    };
+    for row in &out.rows {
+        let idx = (row.key[0] - first) as usize;
+        series.jobs[idx] = int(&row.values[0]);
+        series.bytes[idx] = int(&row.values[1]);
+        series.task_seconds[idx] = int(&row.values[2]);
+    }
+    series
 }
 
 /// Build the Figure 7 document.
 pub fn doc(corpus: &Corpus) -> Section {
     let mut section = Section::new(
-        "Figure 7: Workload behaviour over one week (hourly series, built \
-         from swim-store chunked range scans)",
+        "Figure 7: Workload behaviour over one week (hourly series via a \
+         grouped swim-query over the columnar store)",
     );
     section.prose(
         "Columns: jobs/hr, I/O bytes/hr, task-time/hr — rendered as \

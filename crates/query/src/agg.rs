@@ -1,0 +1,277 @@
+//! Aggregate functions and their mergeable accumulators.
+//!
+//! Every accumulator is exact over `u64` (counts, saturating sums,
+//! extrema, collected samples), so partial states can be merged in *any*
+//! order and still finalize to identical bits — the property that makes
+//! serial and parallel execution byte-for-byte interchangeable.
+
+use crate::expr::Expr;
+use std::fmt;
+
+/// An aggregate over the rows of one group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregate {
+    /// Number of matching rows.
+    Count,
+    /// Saturating sum of the expression.
+    Sum(Expr),
+    /// Minimum of the expression.
+    Min(Expr),
+    /// Maximum of the expression.
+    Max(Expr),
+    /// Mean of the expression (exact `u64` sum, one final division).
+    Avg(Expr),
+    /// Nearest-rank percentile of the expression, `p` in `[0, 1]` —
+    /// exactly `swim_core::stats::Ecdf::quantile`'s rank rule, so query
+    /// results line up with the paper's CDF tables.
+    Percentile(Expr, f64),
+}
+
+impl Aggregate {
+    /// The expression this aggregate reads, if any.
+    pub fn input(&self) -> Option<&Expr> {
+        match self {
+            Aggregate::Count => None,
+            Aggregate::Sum(e)
+            | Aggregate::Min(e)
+            | Aggregate::Max(e)
+            | Aggregate::Avg(e)
+            | Aggregate::Percentile(e, _) => Some(e),
+        }
+    }
+
+    /// Fresh accumulator state.
+    pub(crate) fn new_state(&self) -> AggState {
+        match self {
+            Aggregate::Count => AggState::Count(0),
+            Aggregate::Sum(_) => AggState::Sum(0),
+            Aggregate::Min(_) => AggState::Min(None),
+            Aggregate::Max(_) => AggState::Max(None),
+            Aggregate::Avg(_) => AggState::Avg { sum: 0, n: 0 },
+            Aggregate::Percentile(..) => AggState::Samples(Vec::new()),
+        }
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Aggregate::Count => write!(f, "count"),
+            Aggregate::Sum(e) => write!(f, "sum({e})"),
+            Aggregate::Min(e) => write!(f, "min({e})"),
+            Aggregate::Max(e) => write!(f, "max({e})"),
+            Aggregate::Avg(e) => write!(f, "avg({e})"),
+            Aggregate::Percentile(e, p) => write!(f, "p{}({e})", (p * 100.0).round() as u32),
+        }
+    }
+}
+
+/// One finalized aggregate value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggValue {
+    /// Exact integer result (count, sum, min, max, group keys).
+    Int(u64),
+    /// Real-valued result (avg, percentile).
+    Float(f64),
+    /// Aggregate of an empty group (min/max/avg/percentile of no rows).
+    Null,
+}
+
+impl AggValue {
+    /// Total order for `ORDER BY`: `Null` first, then numerically.
+    pub fn order_key(&self) -> (u8, f64) {
+        match self {
+            AggValue::Null => (0, 0.0),
+            AggValue::Int(v) => (1, *v as f64),
+            AggValue::Float(v) => (1, *v),
+        }
+    }
+}
+
+impl fmt::Display for AggValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggValue::Int(v) => write!(f, "{v}"),
+            AggValue::Float(v) => write!(f, "{v}"),
+            AggValue::Null => write!(f, "-"),
+        }
+    }
+}
+
+/// Mergeable accumulator state for one aggregate of one group.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum AggState {
+    Count(u64),
+    Sum(u64),
+    Min(Option<u64>),
+    Max(Option<u64>),
+    Avg { sum: u64, n: u64 },
+    Samples(Vec<u64>),
+}
+
+impl AggState {
+    /// Fold one row's value in (`v` is ignored by `Count`).
+    #[inline]
+    pub(crate) fn update(&mut self, v: u64) {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum(s) => *s = s.saturating_add(v),
+            AggState::Min(m) => *m = Some(m.map_or(v, |m| m.min(v))),
+            AggState::Max(m) => *m = Some(m.map_or(v, |m| m.max(v))),
+            AggState::Avg { sum, n } => {
+                *sum = sum.saturating_add(v);
+                *n += 1;
+            }
+            AggState::Samples(s) => s.push(v),
+        }
+    }
+
+    /// Merge another partial state in (same aggregate, same group).
+    pub(crate) fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Sum(a), AggState::Sum(b)) => *a = a.saturating_add(b),
+            (AggState::Min(a), AggState::Min(b)) => {
+                *a = match (*a, b) {
+                    (Some(x), Some(y)) => Some(x.min(y)),
+                    (x, y) => x.or(y),
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                *a = match (*a, b) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, y) => x.or(y),
+                }
+            }
+            (AggState::Avg { sum, n }, AggState::Avg { sum: s2, n: n2 }) => {
+                *sum = sum.saturating_add(s2);
+                *n += n2;
+            }
+            (AggState::Samples(a), AggState::Samples(b)) => a.extend(b),
+            _ => unreachable!("merged states always come from the same aggregate list"),
+        }
+    }
+
+    /// Finalize into a value. `agg` supplies the percentile rank.
+    pub(crate) fn finalize(self, agg: &Aggregate) -> AggValue {
+        match self {
+            AggState::Count(n) => AggValue::Int(n),
+            AggState::Sum(s) => AggValue::Int(s),
+            AggState::Min(m) | AggState::Max(m) => m.map_or(AggValue::Null, AggValue::Int),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    AggValue::Null
+                } else {
+                    AggValue::Float(sum as f64 / n as f64)
+                }
+            }
+            AggState::Samples(mut s) => {
+                let Aggregate::Percentile(_, p) = agg else {
+                    unreachable!("sample state belongs to a percentile aggregate")
+                };
+                if s.is_empty() {
+                    return AggValue::Null;
+                }
+                // Nearest-rank, identical to Ecdf::quantile: samples are
+                // sorted (order of arrival is irrelevant), rank =
+                // ceil(p·n) clamped to [1, n].
+                s.sort_unstable();
+                let p = p.clamp(0.0, 1.0);
+                let idx = if p == 0.0 {
+                    0
+                } else {
+                    ((p * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1
+                };
+                AggValue::Float(s[idx] as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Col;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Aggregate::Count.to_string(), "count");
+        assert_eq!(
+            Aggregate::Sum(Expr::col(Col::Input)).to_string(),
+            "sum(input)"
+        );
+        assert_eq!(
+            Aggregate::Percentile(Expr::col(Col::Duration), 0.5).to_string(),
+            "p50(duration)"
+        );
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let agg = Aggregate::Percentile(Expr::col(Col::Duration), 0.5);
+        let values = [5u64, 1, 9, 3, 3, 7];
+        // Split 2|4 merged forwards, and 4|2 merged backwards.
+        let run = |first: &[u64], second: &[u64], swap: bool| {
+            let mut a = agg.new_state();
+            for &v in first {
+                a.update(v);
+            }
+            let mut b = agg.new_state();
+            for &v in second {
+                b.update(v);
+            }
+            if swap {
+                b.merge(a);
+                b.finalize(&agg)
+            } else {
+                a.merge(b);
+                a.finalize(&agg)
+            }
+        };
+        let x = run(&values[..2], &values[2..], false);
+        let y = run(&values[..2], &values[2..], true);
+        assert_eq!(x, y);
+        assert_eq!(x, AggValue::Float(3.0)); // rank ceil(0.5*6)=3 → sorted[2]
+    }
+
+    #[test]
+    fn percentile_matches_ecdf_rank_rule() {
+        // Mirrors Ecdf::quantile: rank = ceil(p*n) clamped to [1, n].
+        let agg = |p| Aggregate::Percentile(Expr::col(Col::Duration), p);
+        let finalize = |p: f64, values: &[u64]| {
+            let a = agg(p);
+            let mut st = a.new_state();
+            for &v in values {
+                st.update(v);
+            }
+            st.finalize(&a)
+        };
+        assert_eq!(finalize(0.0, &[4, 2, 8]), AggValue::Float(2.0));
+        assert_eq!(finalize(0.5, &[4, 2, 8]), AggValue::Float(4.0));
+        assert_eq!(finalize(1.0, &[4, 2, 8]), AggValue::Float(8.0));
+        assert_eq!(finalize(0.5, &[7]), AggValue::Float(7.0));
+        assert_eq!(finalize(0.5, &[]), AggValue::Null);
+    }
+
+    #[test]
+    fn empty_group_finalizes_to_null_or_zero() {
+        for (agg, expect) in [
+            (Aggregate::Count, AggValue::Int(0)),
+            (Aggregate::Sum(Expr::col(Col::Input)), AggValue::Int(0)),
+            (Aggregate::Min(Expr::col(Col::Input)), AggValue::Null),
+            (Aggregate::Max(Expr::col(Col::Input)), AggValue::Null),
+            (Aggregate::Avg(Expr::col(Col::Input)), AggValue::Null),
+        ] {
+            assert_eq!(agg.new_state().finalize(&agg), expect, "{agg}");
+        }
+    }
+
+    #[test]
+    fn sum_saturates_like_datasize() {
+        let agg = Aggregate::Sum(Expr::col(Col::Input));
+        let mut a = agg.new_state();
+        a.update(u64::MAX - 5);
+        a.update(100);
+        assert_eq!(a.finalize(&agg), AggValue::Int(u64::MAX));
+    }
+}

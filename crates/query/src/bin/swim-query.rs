@@ -1,0 +1,184 @@
+//! `swim-query`: filter/group/aggregate queries over a `.swim` columnar
+//! store, with zone-map chunk skipping.
+//!
+//! ```text
+//! swim-query --trace x.swim --select "count,sum(total_io)" \
+//!            [--where "input > 1gb and duration < 2h"] \
+//!            [--group-by "submit/3600"] \
+//!            [--order-by N] [--desc] [--limit N] \
+//!            [--format table|md|json] [--serial]
+//! ```
+//!
+//! Results go to stdout; the scan/pruning summary goes to stderr (so
+//! `--format json` output stays machine-parseable).
+
+use std::process::ExitCode;
+use swim_query::{execute, execute_serial, parse, render, Query};
+use swim_store::Store;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Table,
+    Markdown,
+    Json,
+}
+
+struct Args {
+    trace: String,
+    select: String,
+    where_: String,
+    group_by: String,
+    order_by: Option<usize>,
+    descending: bool,
+    limit: Option<usize>,
+    format: Format,
+    serial: bool,
+}
+
+const USAGE: &str = "usage: swim-query --trace TRACE.swim --select AGGS \
+ [--where PRED] [--group-by EXPRS] [--order-by N] [--desc] [--limit N] \
+ [--format table|md|json] [--serial]\n\
+ columns: id submit duration input shuffle output map_time reduce_time \
+ map_tasks reduce_tasks (derived: total_io total_task_time total_tasks)\n\
+ aggregates: count sum min max avg p0..p100, e.g. \
+ --select \"count,sum(total_io),p50(duration)\"\n\
+ predicates: comparisons over expressions with and/or/not and unit \
+ suffixes, e.g. --where \"input >= 1gb and submit < 2d\"\n\
+ group keys: expressions, e.g. --group-by \"submit/3600\" for hourly bins\n\
+ --order-by N orders by 1-based output column (group keys first)";
+
+/// `Ok(None)` means `--help` was requested.
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        trace: String::new(),
+        select: "count".into(),
+        where_: String::new(),
+        group_by: String::new(),
+        order_by: None,
+        descending: false,
+        limit: None,
+        format: Format::Table,
+        serial: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut next = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--trace" => args.trace = next("--trace")?,
+            "--select" => args.select = next("--select")?,
+            "--where" => args.where_ = next("--where")?,
+            "--group-by" => args.group_by = next("--group-by")?,
+            "--order-by" => {
+                let n: usize = next("--order-by")?
+                    .parse()
+                    .map_err(|_| "--order-by requires a 1-based column number".to_owned())?;
+                if n == 0 {
+                    return Err("--order-by columns are 1-based".into());
+                }
+                args.order_by = Some(n - 1);
+            }
+            "--desc" => args.descending = true,
+            "--limit" => {
+                args.limit = Some(
+                    next("--limit")?
+                        .parse()
+                        .map_err(|_| "--limit requires an integer".to_owned())?,
+                )
+            }
+            "--format" => {
+                args.format = match next("--format")?.as_str() {
+                    "table" | "text" => Format::Table,
+                    "md" | "markdown" => Format::Markdown,
+                    "json" => Format::Json,
+                    other => {
+                        return Err(format!("unknown format {other} (expected table|md|json)"))
+                    }
+                }
+            }
+            "--serial" => args.serial = true,
+            "--help" | "-h" => return Ok(None),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other if args.trace.is_empty() => args.trace = other.to_owned(),
+            other => return Err(format!("unexpected argument {other}")),
+        }
+    }
+    if args.trace.is_empty() {
+        return Err("a store file is required (swim-query --trace x.swim)".into());
+    }
+    Ok(Some(args))
+}
+
+fn build_query(args: &Args) -> Result<Query, String> {
+    let mut query = Query::new().filter(parse::parse_predicate(&args.where_)?);
+    for key in parse::parse_group_by(&args.group_by)? {
+        query = query.group(key);
+    }
+    for agg in parse::parse_aggregates(&args.select)? {
+        query = query.select(agg);
+    }
+    if let Some(column) = args.order_by {
+        query = query.order_by(column, args.descending);
+    }
+    if let Some(limit) = args.limit {
+        query = query.limit(limit);
+    }
+    Ok(query)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        // An explicit --help/-h is a successful run: usage on stdout.
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Ok(Some(a)) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let store = match Store::open(&args.trace) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: open {}: {e}", args.trace);
+            return ExitCode::FAILURE;
+        }
+    };
+    let query = match build_query(&args) {
+        Ok(q) => q,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if args.serial {
+        execute_serial(&store, &query)
+    } else {
+        execute(&store, &query)
+    };
+    let output = match result {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let title = format!("swim-query: {}", args.trace);
+    match args.format {
+        Format::Table => print!("{}", render::render_text(&output)),
+        Format::Markdown => print!("{}", render::render_markdown(&output, &title)),
+        Format::Json => println!("{}", render::render_json(&output)),
+    }
+    eprintln!(
+        "{} (store v{}, {} jobs)",
+        render::stats_line(&output),
+        store.format_version(),
+        store.job_count()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,434 @@
+//! Query execution: vectorized per-chunk evaluation, mergeable group
+//! tables, deterministic finalization.
+//!
+//! Both entry points — [`execute`] (parallel, worker-claimed chunk
+//! indices via [`Store::par_fold_columns`]) and [`execute_serial`] — run
+//! the *same* per-chunk fold and the *same* finalization, and every
+//! accumulator merge is exact and order-insensitive, so the two produce
+//! bit-identical [`QueryOutput`]s (pinned by tests and proptests).
+
+use crate::agg::{AggState, AggValue};
+use crate::plan::{plan, Query};
+use crate::QueryError;
+use std::collections::HashMap;
+use swim_store::format::columns::NumericColumns;
+use swim_store::Store;
+
+/// What execution did, beyond the result rows: the observability side of
+/// zone-map pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Chunks in the store.
+    pub chunks_total: usize,
+    /// Chunks actually read and decoded.
+    pub chunks_scanned: usize,
+    /// Chunks the planner skipped via zone maps (never read).
+    pub chunks_skipped: usize,
+    /// Scanned chunks whose zone verdict was "every row matches" (the
+    /// row filter was skipped for them).
+    pub chunks_full_match: usize,
+    /// Rows decoded across scanned chunks.
+    pub rows_scanned: u64,
+    /// Rows that passed the predicate.
+    pub rows_matched: u64,
+}
+
+/// One output row: the group key plus one value per aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Group-key values, in `group_by` order (empty for global queries).
+    pub key: Vec<u64>,
+    /// Aggregate values, in `aggregates` order.
+    pub values: Vec<AggValue>,
+}
+
+impl Row {
+    /// All output cells: key columns (as [`AggValue::Int`]) then
+    /// aggregate columns.
+    pub fn cells(&self) -> Vec<AggValue> {
+        self.key
+            .iter()
+            .map(|&k| AggValue::Int(k))
+            .chain(self.values.iter().copied())
+            .collect()
+    }
+}
+
+/// A finished query: labeled columns, ordered rows, execution stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// Output column labels: group keys first, then aggregates.
+    pub columns: Vec<String>,
+    /// Result rows, ordered (group-key ascending unless the query says
+    /// otherwise) and limited.
+    pub rows: Vec<Row>,
+    /// Pruning and scan counters.
+    pub stats: ExecStats,
+}
+
+/// Per-worker (or whole-serial-run) accumulator.
+struct Acc {
+    groups: HashMap<Vec<u64>, Vec<AggState>>,
+    rows_scanned: u64,
+    rows_matched: u64,
+}
+
+impl Acc {
+    fn new() -> Acc {
+        Acc {
+            groups: HashMap::new(),
+            rows_scanned: 0,
+            rows_matched: 0,
+        }
+    }
+}
+
+/// Fold one decoded chunk into the accumulator. `full_match` skips the
+/// row filter when the planner proved the whole chunk matches.
+fn fold_chunk(acc: &mut Acc, query: &Query, cols: &NumericColumns, full_match: bool) {
+    let n = cols.len();
+    acc.rows_scanned += n as u64;
+    let mask = if full_match {
+        None
+    } else {
+        Some(query.predicate.eval_mask(cols))
+    };
+    // Vectorized: evaluate every key and aggregate-input expression once
+    // per chunk, then walk rows through the selection.
+    let keys: Vec<_> = query.group_by.iter().map(|e| e.eval(cols)).collect();
+    let inputs: Vec<_> = query
+        .aggregates
+        .iter()
+        .map(|a| a.input().map(|e| e.eval(cols)))
+        .collect();
+    let new_states =
+        || -> Vec<AggState> { query.aggregates.iter().map(|a| a.new_state()).collect() };
+    if keys.is_empty() {
+        // Global aggregate: one group, so hoist the table lookup out of
+        // the row loop entirely.
+        let states = acc.groups.entry(Vec::new()).or_insert_with(new_states);
+        for i in 0..n {
+            if let Some(mask) = &mask {
+                if !mask[i] {
+                    continue;
+                }
+            }
+            acc.rows_matched += 1;
+            for (state, input) in states.iter_mut().zip(&inputs) {
+                state.update(input.as_ref().map_or(0, |v| v.get(i)));
+            }
+        }
+        return;
+    }
+    let mut key = Vec::with_capacity(keys.len());
+    for i in 0..n {
+        if let Some(mask) = &mask {
+            if !mask[i] {
+                continue;
+            }
+        }
+        acc.rows_matched += 1;
+        key.clear();
+        key.extend(keys.iter().map(|k| k.get(i)));
+        // `get_mut` first so the hot path (existing group) never clones
+        // the key.
+        let states = match acc.groups.get_mut(&key) {
+            Some(states) => states,
+            None => acc.groups.entry(key.clone()).or_insert_with(new_states),
+        };
+        for (state, input) in states.iter_mut().zip(&inputs) {
+            state.update(input.as_ref().map_or(0, |v| v.get(i)));
+        }
+    }
+}
+
+/// Merge a second accumulator into the first (exact, order-insensitive).
+fn merge_acc(a: &mut Acc, b: Acc) {
+    a.rows_scanned += b.rows_scanned;
+    a.rows_matched += b.rows_matched;
+    for (key, states) in b.groups {
+        match a.groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                for (dst, src) in e.get_mut().iter_mut().zip(states) {
+                    dst.merge(src);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(states);
+            }
+        }
+    }
+}
+
+/// Canonical finalization: groups sorted by key, aggregates finalized,
+/// explicit ordering and limit applied. This is where any difference in
+/// accumulation order is erased, so serial ≡ parallel bit for bit.
+fn finalize(query: &Query, acc: Acc, stats: ExecStats) -> QueryOutput {
+    let mut rows: Vec<Row> = acc
+        .groups
+        .into_iter()
+        .map(|(key, states)| Row {
+            key,
+            values: states
+                .into_iter()
+                .zip(&query.aggregates)
+                .map(|(s, a)| s.finalize(a))
+                .collect(),
+        })
+        .collect();
+    rows.sort_by(|a, b| a.key.cmp(&b.key));
+    // A global aggregate (no group keys) over zero matching rows still
+    // yields its one row — count 0, sums 0, extrema null — like SQL.
+    if rows.is_empty() && query.group_by.is_empty() {
+        rows.push(Row {
+            key: Vec::new(),
+            values: query
+                .aggregates
+                .iter()
+                .map(|a| a.new_state().finalize(a))
+                .collect(),
+        });
+    }
+    if let Some(order) = query.order_by {
+        let key_cols = query.group_by.len();
+        rows.sort_by(|a, b| {
+            let cell = |r: &Row| {
+                if order.column < key_cols {
+                    AggValue::Int(r.key[order.column])
+                } else {
+                    r.values[order.column - key_cols]
+                }
+            };
+            let (ka, kb) = (cell(a).order_key(), cell(b).order_key());
+            let ord = ka.0.cmp(&kb.0).then_with(|| ka.1.total_cmp(&kb.1));
+            if order.descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+    if let Some(limit) = query.limit {
+        rows.truncate(limit);
+    }
+    QueryOutput {
+        columns: query.column_labels(),
+        rows,
+        stats,
+    }
+}
+
+fn stats_for(p: &crate::plan::Plan) -> ExecStats {
+    ExecStats {
+        chunks_total: p.chunks_total,
+        chunks_scanned: p.selected.len(),
+        chunks_skipped: p.chunks_skipped(),
+        chunks_full_match: p.selected.iter().filter(|&&i| p.full_match[i]).count(),
+        rows_scanned: 0,
+        rows_matched: 0,
+    }
+}
+
+/// Execute in parallel: workers claim planned chunk indices off a shared
+/// counter ([`Store::par_fold_columns`]) and per-worker group tables are
+/// merged exactly. Bit-identical to [`execute_serial`].
+pub fn execute(store: &Store, query: &Query) -> Result<QueryOutput, QueryError> {
+    query.validate()?;
+    let p = plan(store, query);
+    let mut stats = stats_for(&p);
+    let full_match = &p.full_match;
+    let acc = store.par_fold_columns(
+        &p.selected,
+        Acc::new,
+        |mut acc, idx, cols| {
+            fold_chunk(&mut acc, query, cols, full_match[idx]);
+            acc
+        },
+        |mut a, b| {
+            merge_acc(&mut a, b);
+            a
+        },
+    )?;
+    stats.rows_scanned = acc.rows_scanned;
+    stats.rows_matched = acc.rows_matched;
+    Ok(finalize(query, acc, stats))
+}
+
+/// Execute on the calling thread, chunks in file order. The reference
+/// implementation for determinism tests — and the faster choice for tiny
+/// stores.
+pub fn execute_serial(store: &Store, query: &Query) -> Result<QueryOutput, QueryError> {
+    query.validate()?;
+    let p = plan(store, query);
+    let mut stats = stats_for(&p);
+    let full_match = &p.full_match;
+    let acc = store.fold_columns(&p.selected, Acc::new(), |mut acc, idx, cols| {
+        fold_chunk(&mut acc, query, cols, full_match[idx]);
+        acc
+    })?;
+    stats.rows_scanned = acc.rows_scanned;
+    stats.rows_matched = acc.rows_matched;
+    Ok(finalize(query, acc, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::Aggregate;
+    use crate::expr::{CmpOp, Col, Expr, Pred};
+    use swim_store::{store_to_vec, StoreOptions};
+    use swim_trace::trace::WorkloadKind;
+    use swim_trace::{DataSize, Dur, JobBuilder, Timestamp, Trace};
+
+    fn store(n: u64, jobs_per_chunk: u32) -> Store {
+        let jobs = (0..n)
+            .map(|i| {
+                let mut b = JobBuilder::new(i)
+                    .submit(Timestamp::from_secs(i * 97 % 40_000))
+                    .duration(Dur::from_secs(1 + i % 500))
+                    .input(DataSize::from_bytes(i * 1_000_003 % (1 << 33)))
+                    .output(DataSize::from_bytes(i * 77))
+                    .map_task_time(Dur::from_secs(3 + i % 60))
+                    .tasks(1 + (i % 20) as u32, (i % 4) as u32);
+                if i % 4 > 0 {
+                    b = b
+                        .shuffle(DataSize::from_bytes(i * 13))
+                        .reduce_task_time(Dur::from_secs(1 + i % 30));
+                }
+                b.build().unwrap()
+            })
+            .collect();
+        let trace = Trace::new(WorkloadKind::Custom("exec".into()), 9, jobs).unwrap();
+        Store::from_vec(store_to_vec(&trace, &StoreOptions { jobs_per_chunk })).unwrap()
+    }
+
+    #[test]
+    fn global_count_matches_store_job_count() {
+        let store = store(1_000, 64);
+        let q = Query::new().select(Aggregate::Count);
+        let out = execute(&store, &q).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].values, vec![AggValue::Int(1_000)]);
+        assert_eq!(out.stats.chunks_skipped, 0);
+        assert_eq!(out.stats.rows_matched, 1_000);
+    }
+
+    #[test]
+    fn serial_and_parallel_are_bit_identical() {
+        let store = store(5_000, 37);
+        let queries = [
+            Query::new().select(Aggregate::Count),
+            Query::new()
+                .filter(Pred::cmp(Col::Duration, CmpOp::Ge, 250))
+                .group(Expr::submit_hour())
+                .select(Aggregate::Count)
+                .select(Aggregate::Sum(Expr::total_io()))
+                .select(Aggregate::Avg(Expr::col(Col::Duration)))
+                .select(Aggregate::Percentile(Expr::col(Col::Duration), 0.9)),
+            Query::new()
+                .filter(Pred::cmp(Col::Input, CmpOp::Gt, 1 << 30))
+                .group(Expr::col(Col::ReduceTasks))
+                .select(Aggregate::Min(Expr::col(Col::Submit)))
+                .select(Aggregate::Max(Expr::col(Col::Submit)))
+                .order_by(1, true)
+                .limit(3),
+        ];
+        for q in &queries {
+            let serial = execute_serial(&store, q).unwrap();
+            for _ in 0..3 {
+                // Parallel scheduling varies run to run; results may not.
+                assert_eq!(execute(&store, q).unwrap(), serial);
+            }
+        }
+    }
+
+    #[test]
+    fn zone_pruning_skips_chunks_and_preserves_results() {
+        let store = store(10_000, 50);
+        // Submit range predicate: only a slice of chunks overlaps.
+        let q = Query::new()
+            .filter(Pred::submit_range(10_000, 12_000))
+            .select(Aggregate::Count);
+        let out = execute(&store, &q).unwrap();
+        assert!(
+            out.stats.chunks_skipped > 0,
+            "expected skips: {:?}",
+            out.stats
+        );
+        // Oracle: count via the store's job-level range scan.
+        let expected = store
+            .par_scan_range(
+                Timestamp::from_secs(10_000),
+                Timestamp::from_secs(12_000),
+                || 0u64,
+                |n, _| n + 1,
+                |a, b| a + b,
+            )
+            .unwrap();
+        assert_eq!(out.rows[0].values, vec![AggValue::Int(expected)]);
+    }
+
+    #[test]
+    fn empty_match_yields_single_null_row_globally_and_no_rows_grouped() {
+        let store = store(500, 64);
+        let never = Pred::cmp(Col::Duration, CmpOp::Gt, u64::MAX - 1);
+        let global = Query::new()
+            .filter(never.clone())
+            .select(Aggregate::Count)
+            .select(Aggregate::Min(Expr::col(Col::Input)))
+            .select(Aggregate::Avg(Expr::col(Col::Input)));
+        let out = execute(&store, &global).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(
+            out.rows[0].values,
+            vec![AggValue::Int(0), AggValue::Null, AggValue::Null]
+        );
+        assert_eq!(out.stats.chunks_scanned, 0, "all chunks skippable");
+
+        let grouped = Query::new()
+            .filter(never)
+            .group(Expr::col(Col::MapTasks))
+            .select(Aggregate::Count);
+        assert!(execute(&store, &grouped).unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn group_rows_are_sorted_by_key_and_orderable_by_aggregate() {
+        let store = store(2_000, 100);
+        let q = Query::new()
+            .group(Expr::col(Col::ReduceTasks))
+            .select(Aggregate::Count);
+        let out = execute(&store, &q).unwrap();
+        let keys: Vec<u64> = out.rows.iter().map(|r| r.key[0]).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys, vec![0, 1, 2, 3]);
+        // Descending by count.
+        let q = q.order_by(1, true).limit(2);
+        let out = execute(&store, &q).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        let counts: Vec<_> = out.rows.iter().map(|r| r.values[0]).collect();
+        assert!(counts[0].order_key().1 >= counts[1].order_key().1);
+    }
+
+    #[test]
+    fn full_match_chunks_skip_the_row_filter_but_count_rows() {
+        let store = store(1_000, 100);
+        let q = Query::new()
+            .filter(Pred::cmp(Col::Duration, CmpOp::Ge, 1)) // true for all
+            .select(Aggregate::Count);
+        let out = execute(&store, &q).unwrap();
+        assert_eq!(out.stats.chunks_full_match, out.stats.chunks_scanned);
+        assert_eq!(out.rows[0].values, vec![AggValue::Int(1_000)]);
+    }
+
+    #[test]
+    fn empty_store_global_query_yields_zero_row() {
+        let trace = Trace::new(WorkloadKind::Custom("empty".into()), 1, vec![]).unwrap();
+        let store = Store::from_vec(store_to_vec(&trace, &StoreOptions::default())).unwrap();
+        let out = execute(&store, &Query::new().select(Aggregate::Count)).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].values, vec![AggValue::Int(0)]);
+    }
+}

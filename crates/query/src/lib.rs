@@ -1,0 +1,143 @@
+//! # swim-query
+//!
+//! A vectorized, columnar query engine over the `swim-store` trace
+//! format — the paper's whole analysis battery (per-bin job counts, I/O
+//! sums, duration percentiles) expressed as one typed surface:
+//!
+//! ```text
+//! Query { predicate, group_by, aggregates, order_by, limit }
+//! ```
+//!
+//! compiled against a store's footer into a physical plan and executed
+//! over chunk-at-a-time numeric column projections. Three properties do
+//! the heavy lifting:
+//!
+//! 1. **Zone-map pruning** — format v2 stores per-chunk `[min, max]`
+//!    bounds for *all ten* numeric columns, and the planner interval-
+//!    evaluates the predicate against them
+//!    ([`Pred::zone_verdict`]), so chunks that cannot match
+//!    are never read and chunks that match entirely skip the row filter.
+//!    Version-1 files still work (their synthesized maps prune on submit
+//!    only).
+//! 2. **Vectorized execution** — chunks decode to
+//!    [`swim_store::format::columns::NumericColumns`]; expressions
+//!    evaluate column-at-a-time over borrowed slices, and names/paths are
+//!    never decoded (they are not addressable from a query at all).
+//! 3. **Deterministic parallelism** — workers claim chunk indices off a
+//!    shared counter ([`swim_store::Store::par_fold_columns`]); every
+//!    accumulator merge is exact and order-insensitive (counts, saturating
+//!    `u64` sums, extrema, sorted-at-finalize percentile samples), and
+//!    finalization sorts groups canonically, so [`execute`] and
+//!    [`execute_serial`] return bit-identical results.
+//!
+//! ```
+//! use swim_query::{execute, execute_serial, parse, Query};
+//! use swim_store::{store_to_vec, Store, StoreOptions};
+//! use swim_trace::trace::WorkloadKind;
+//! use swim_trace::{DataSize, Dur, JobBuilder, Timestamp, Trace};
+//!
+//! // A day of jobs, one per minute, 64 MB in each.
+//! let jobs = (0..1440u64)
+//!     .map(|i| {
+//!         JobBuilder::new(i)
+//!             .submit(Timestamp::from_secs(i * 60))
+//!             .duration(Dur::from_secs(30 + i % 240))
+//!             .input(DataSize::from_mb(64))
+//!             .map_task_time(Dur::from_secs(90))
+//!             .tasks(2, 0)
+//!             .build()
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! let trace = Trace::new(WorkloadKind::Custom("demo".into()), 25, jobs).unwrap();
+//! let store = Store::from_vec(store_to_vec(
+//!     &trace,
+//!     &StoreOptions { jobs_per_chunk: 60 },
+//! ))
+//! .unwrap();
+//!
+//! // Hourly job counts and I/O for the first six hours — Fig. 7's shape.
+//! let mut query = Query::new()
+//!     .filter(parse::parse_predicate("submit < 6h").unwrap())
+//!     .group(swim_query::Expr::submit_hour());
+//! for agg in parse::parse_aggregates("count, sum(total_io)").unwrap() {
+//!     query = query.select(agg);
+//! }
+//! let out = execute(&store, &query).unwrap();
+//! assert_eq!(out.rows.len(), 6);
+//! assert_eq!(out.rows[0].values[0], swim_query::AggValue::Int(60));
+//! // Chunks after hour six were never read …
+//! assert!(out.stats.chunks_skipped > 0);
+//! // … and the parallel result is bit-identical to the serial one.
+//! assert_eq!(execute_serial(&store, &query).unwrap(), out);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod agg;
+pub mod exec;
+pub mod expr;
+pub mod parse;
+pub mod plan;
+pub mod render;
+
+pub use agg::{AggValue, Aggregate};
+pub use exec::{execute, execute_serial, ExecStats, QueryOutput, Row};
+pub use expr::{CmpOp, Col, Expr, Pred, Tri, Values};
+pub use plan::{plan, OrderBy, Plan, Query};
+pub use render::{render_json, render_markdown, render_text};
+
+use std::fmt;
+use swim_store::StoreError;
+
+/// Errors from planning or executing a query.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// The underlying store failed (I/O, corruption).
+    Store(StoreError),
+    /// The query itself is malformed (empty select, bad percentile rank,
+    /// order-by out of range, unparseable text).
+    Invalid(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Store(e) => write!(f, "query store error: {e}"),
+            QueryError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Store(e) => Some(e),
+            QueryError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<StoreError> for QueryError {
+    fn from(e: StoreError) -> Self {
+        QueryError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error as _;
+        let e = QueryError::Invalid("nope".into());
+        assert!(e.to_string().contains("nope"));
+        assert!(e.source().is_none());
+        let e = QueryError::from(StoreError::Truncated { context: "x" });
+        assert!(e.to_string().contains("x"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,483 @@
+//! Text syntax for queries — the `swim-query` CLI's `--select`,
+//! `--where`, and `--group-by` arguments.
+//!
+//! ```text
+//! expr      := term (('+' | '-') term)*
+//! term      := factor (('*' | '/') factor)*
+//! factor    := column | literal | '(' expr ')'
+//! literal   := digits [kb|mb|gb|tb|pb | s|min|h|d|w]
+//! column    := id | submit | duration | input | shuffle | output
+//!            | map_time | reduce_time | map_tasks | reduce_tasks
+//!            | total_io | total_task_time | total_tasks   (derived)
+//! pred      := conj (('or' | '||') conj)*
+//! conj      := unit (('and' | '&&') unit)*
+//! unit      := ('not' | '!') unit | expr cmp expr | '(' pred ')'
+//! cmp       := '<' | '<=' | '>' | '>=' | '==' | '!='
+//! agg       := count | (sum|min|max|avg) '(' expr ')' | 'p'digits '(' expr ')'
+//! selects   := agg (',' agg)*
+//! groups    := expr (',' expr)*
+//! ```
+//!
+//! Size suffixes are decimal (`1kb` = 1000 bytes, as
+//! [`swim_trace::DataSize`]); time suffixes are seconds-based (`2h` =
+//! 7200). `p50(duration)` is the nearest-rank median; `pN` accepts
+//! integer percents 0–100.
+
+use crate::agg::Aggregate;
+use crate::expr::{CmpOp, Col, Expr, Pred};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(u64),
+    Symbol(&'static str),
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(start, c)) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut end = start;
+            while let Some(&(i, d)) = chars.peek() {
+                if d.is_ascii_digit() || d == '_' {
+                    end = i + d.len_utf8();
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            let digits: String = input[start..end].chars().filter(|&d| d != '_').collect();
+            let value: u64 = digits
+                .parse()
+                .map_err(|_| format!("number {digits:?} overflows u64"))?;
+            // Optional unit suffix, lexed as part of the number.
+            let mut suffix = String::new();
+            while let Some(&(_, d)) = chars.peek() {
+                if d.is_ascii_alphabetic() {
+                    suffix.push(d);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            let multiplier = match suffix.as_str() {
+                "" => 1,
+                "kb" => 1_000,
+                "mb" => 1_000_000,
+                "gb" => 1_000_000_000,
+                "tb" => 1_000_000_000_000,
+                "pb" => 1_000_000_000_000_000,
+                "s" => 1,
+                "min" => 60,
+                "h" => 3_600,
+                "d" => 86_400,
+                "w" => 604_800,
+                other => return Err(format!("unknown unit suffix {other:?} in {input:?}")),
+            };
+            let value = value
+                .checked_mul(multiplier)
+                .ok_or_else(|| format!("literal {}{suffix} overflows u64", digits))?;
+            tokens.push(Token::Number(value));
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut end = start;
+            while let Some(&(i, d)) = chars.peek() {
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    end = i + d.len_utf8();
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token::Ident(input[start..end].to_ascii_lowercase()));
+            continue;
+        }
+        // Two-character symbols first.
+        let rest = &input[start..];
+        let two = ["<=", ">=", "==", "!=", "&&", "||"]
+            .into_iter()
+            .find(|s| rest.starts_with(s));
+        if let Some(s) = two {
+            chars.next();
+            chars.next();
+            tokens.push(Token::Symbol(s));
+            continue;
+        }
+        let one = ["<", ">", "+", "-", "*", "/", "(", ")", ",", "!", "="]
+            .into_iter()
+            .find(|s| rest.starts_with(s));
+        match one {
+            Some("=") => return Err("use `==` for equality".into()),
+            Some(s) => {
+                chars.next();
+                tokens.push(Token::Symbol(s));
+            }
+            None => return Err(format!("unexpected character {c:?} in {input:?}")),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser, String> {
+        Ok(Parser {
+            tokens: lex(input)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        match self.peek() {
+            Some(Token::Symbol(t)) if *t == s => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        match self.peek() {
+            Some(Token::Ident(w)) if w == word => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<(), String> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(format!("expected {s:?} at {}", self.where_am_i()))
+        }
+    }
+
+    fn where_am_i(&self) -> String {
+        match self.peek() {
+            Some(Token::Ident(w)) => format!("`{w}`"),
+            Some(Token::Number(n)) => format!("`{n}`"),
+            Some(Token::Symbol(s)) => format!("`{s}`"),
+            None => "end of input".into(),
+        }
+    }
+
+    fn column(name: &str) -> Option<Expr> {
+        let col = match name {
+            "id" => Col::Id,
+            "submit" => Col::Submit,
+            "duration" => Col::Duration,
+            "input" => Col::Input,
+            "shuffle" => Col::Shuffle,
+            "output" => Col::Output,
+            "map_time" => Col::MapTime,
+            "reduce_time" => Col::ReduceTime,
+            "map_tasks" => Col::MapTasks,
+            "reduce_tasks" => Col::ReduceTasks,
+            "total_io" => return Some(Expr::total_io()),
+            "total_task_time" => return Some(Expr::total_task_time()),
+            "total_tasks" => return Some(Expr::total_tasks()),
+            _ => return None,
+        };
+        Some(Expr::Col(col))
+    }
+
+    fn factor(&mut self) -> Result<Expr, String> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(n))
+            }
+            Some(Token::Ident(w)) => {
+                let e = Self::column(&w)
+                    .ok_or_else(|| format!("unknown column `{w}` (see --help for columns)"))?;
+                self.pos += 1;
+                Ok(e)
+            }
+            Some(Token::Symbol("(")) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_symbol(")")?;
+                Ok(e)
+            }
+            _ => Err(format!("expected an expression at {}", self.where_am_i())),
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, String> {
+        let mut e = self.factor()?;
+        loop {
+            if self.eat_symbol("*") {
+                e = Expr::Mul(Box::new(e), Box::new(self.factor()?));
+            } else if self.eat_symbol("/") {
+                e = Expr::Div(Box::new(e), Box::new(self.factor()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, String> {
+        let mut e = self.term()?;
+        loop {
+            if self.eat_symbol("+") {
+                e = Expr::Add(Box::new(e), Box::new(self.term()?));
+            } else if self.eat_symbol("-") {
+                e = Expr::Sub(Box::new(e), Box::new(self.term()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn cmp_op(&mut self) -> Option<CmpOp> {
+        for (s, op) in [
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("==", CmpOp::Eq),
+            ("!=", CmpOp::Ne),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat_symbol(s) {
+                return Some(op);
+            }
+        }
+        None
+    }
+
+    fn pred_unit(&mut self) -> Result<Pred, String> {
+        if self.eat_ident("not") || self.eat_symbol("!") {
+            return Ok(Pred::Not(Box::new(self.pred_unit()?)));
+        }
+        if self.eat_ident("true") {
+            return Ok(Pred::True);
+        }
+        // `(` is ambiguous: it may open a parenthesized predicate or a
+        // parenthesized arithmetic expression. Try the comparison parse
+        // first and backtrack to a predicate group if it fails.
+        let mark = self.pos;
+        match self.comparison() {
+            Ok(p) => Ok(p),
+            Err(cmp_err) => {
+                self.pos = mark;
+                if self.eat_symbol("(") {
+                    let p = self.pred()?;
+                    self.expect_symbol(")")?;
+                    Ok(p)
+                } else {
+                    Err(cmp_err)
+                }
+            }
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Pred, String> {
+        let lhs = self.expr()?;
+        let op = self
+            .cmp_op()
+            .ok_or_else(|| format!("expected a comparison operator at {}", self.where_am_i()))?;
+        let rhs = self.expr()?;
+        Ok(Pred::Cmp(lhs, op, rhs))
+    }
+
+    fn pred_conj(&mut self) -> Result<Pred, String> {
+        let mut p = self.pred_unit()?;
+        while self.eat_ident("and") || self.eat_symbol("&&") {
+            p = Pred::And(Box::new(p), Box::new(self.pred_unit()?));
+        }
+        Ok(p)
+    }
+
+    fn pred(&mut self) -> Result<Pred, String> {
+        let mut p = self.pred_conj()?;
+        while self.eat_ident("or") || self.eat_symbol("||") {
+            p = Pred::Or(Box::new(p), Box::new(self.pred_conj()?));
+        }
+        Ok(p)
+    }
+
+    fn aggregate(&mut self) -> Result<Aggregate, String> {
+        let Some(Token::Ident(name)) = self.peek().cloned() else {
+            return Err(format!("expected an aggregate at {}", self.where_am_i()));
+        };
+        self.pos += 1;
+        if name == "count" {
+            return Ok(Aggregate::Count);
+        }
+        let make: Box<dyn Fn(Expr) -> Aggregate> = match name.as_str() {
+            "sum" => Box::new(Aggregate::Sum),
+            "min" => Box::new(Aggregate::Min),
+            "max" => Box::new(Aggregate::Max),
+            "avg" | "mean" => Box::new(Aggregate::Avg),
+            _ => {
+                let digits = name
+                    .strip_prefix('p')
+                    .filter(|d| !d.is_empty() && d.chars().all(|c| c.is_ascii_digit()));
+                match digits
+                    .and_then(|d| d.parse::<u32>().ok())
+                    .filter(|&n| n <= 100)
+                {
+                    Some(n) => Box::new(move |e| Aggregate::Percentile(e, f64::from(n) / 100.0)),
+                    None => {
+                        return Err(format!(
+                            "unknown aggregate `{name}` (count, sum, min, max, avg, p0–p100)"
+                        ))
+                    }
+                }
+            }
+        };
+        self.expect_symbol("(")?;
+        let e = self.expr()?;
+        self.expect_symbol(")")?;
+        Ok(make(e))
+    }
+
+    fn done(&self) -> Result<(), String> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(format!("unexpected trailing {}", self.where_am_i()))
+        }
+    }
+}
+
+/// Parse a comma-separated aggregate list (`--select`).
+pub fn parse_aggregates(input: &str) -> Result<Vec<Aggregate>, String> {
+    let mut p = Parser::new(input)?;
+    let mut out = vec![p.aggregate()?];
+    while p.eat_symbol(",") {
+        out.push(p.aggregate()?);
+    }
+    p.done()?;
+    Ok(out)
+}
+
+/// Parse a predicate (`--where`). Empty input means [`Pred::True`].
+pub fn parse_predicate(input: &str) -> Result<Pred, String> {
+    if input.trim().is_empty() {
+        return Ok(Pred::True);
+    }
+    let mut p = Parser::new(input)?;
+    let pred = p.pred()?;
+    p.done()?;
+    Ok(pred)
+}
+
+/// Parse a comma-separated group-key expression list (`--group-by`).
+/// Empty input means no grouping.
+pub fn parse_group_by(input: &str) -> Result<Vec<Expr>, String> {
+    if input.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut p = Parser::new(input)?;
+    let mut out = vec![p.expr()?];
+    while p.eat_symbol(",") {
+        out.push(p.expr()?);
+    }
+    p.done()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_aggregates_with_units_and_percentiles() {
+        let aggs = parse_aggregates("count, sum(total_io), p50(duration), avg(input)").unwrap();
+        assert_eq!(aggs.len(), 4);
+        assert_eq!(aggs[0], Aggregate::Count);
+        assert_eq!(aggs[1], Aggregate::Sum(Expr::total_io()));
+        assert_eq!(
+            aggs[2],
+            Aggregate::Percentile(Expr::col(Col::Duration), 0.5)
+        );
+    }
+
+    #[test]
+    fn parses_predicates_with_precedence_and_backtracking() {
+        // `and` binds tighter than `or`.
+        let p = parse_predicate("input > 1gb or duration >= 2h and reduce_tasks == 0").unwrap();
+        assert_eq!(
+            p,
+            Pred::cmp(Col::Input, CmpOp::Gt, 1_000_000_000).or(Pred::cmp(
+                Col::Duration,
+                CmpOp::Ge,
+                7_200
+            )
+            .and(Pred::cmp(Col::ReduceTasks, CmpOp::Eq, 0)))
+        );
+        // Parenthesized predicate vs parenthesized expression.
+        let p =
+            parse_predicate("(input + output) > 1mb and (duration < 60 or duration > 1h)").unwrap();
+        assert!(matches!(p, Pred::And(..)));
+        // not / !.
+        assert_eq!(
+            parse_predicate("not reduce_tasks == 0").unwrap(),
+            parse_predicate("!(reduce_tasks == 0)").unwrap()
+        );
+    }
+
+    #[test]
+    fn parses_group_by_buckets() {
+        let g = parse_group_by("submit/3600, map_tasks").unwrap();
+        assert_eq!(g[0], Expr::submit_hour());
+        assert_eq!(g[1], Expr::col(Col::MapTasks));
+        assert!(parse_group_by("  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unit_suffixes() {
+        assert_eq!(
+            parse_predicate("input >= 2kb").unwrap(),
+            Pred::cmp(Col::Input, CmpOp::Ge, 2_000)
+        );
+        assert_eq!(
+            parse_predicate("duration < 3min").unwrap(),
+            Pred::cmp(Col::Duration, CmpOp::Lt, 180)
+        );
+        assert_eq!(
+            parse_predicate("submit < 1w").unwrap(),
+            Pred::cmp(Col::Submit, CmpOp::Lt, 604_800)
+        );
+        // Underscore separators.
+        assert_eq!(
+            parse_predicate("input == 1_000_000").unwrap(),
+            Pred::cmp(Col::Input, CmpOp::Eq, 1_000_000)
+        );
+    }
+
+    #[test]
+    fn rejects_nonsense_with_useful_messages() {
+        assert!(parse_aggregates("p101(duration)")
+            .unwrap_err()
+            .contains("p101"));
+        assert!(parse_predicate("frobnicate > 5")
+            .unwrap_err()
+            .contains("frobnicate"));
+        assert!(parse_predicate("input = 5").unwrap_err().contains("=="));
+        assert!(parse_predicate("input > 5 extra")
+            .unwrap_err()
+            .contains("trailing"));
+        assert!(parse_predicate("input > 5zb").unwrap_err().contains("zb"));
+        assert!(parse_aggregates("sum(input").is_err());
+        assert!(parse_predicate("input >").is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! The logical [`Query`] and its physical [`Plan`].
+//!
+//! Planning is pure pruning: the predicate's zone-map verdict
+//! ([`crate::expr::Pred::zone_verdict`]) classifies every chunk as
+//! *skip* (no job can match — never read), *filter* (read and apply the
+//! row mask), or *full* (every job matches — read, skip the mask). The
+//! store's footer index makes this O(chunks) with zero I/O.
+
+use crate::agg::Aggregate;
+use crate::expr::{Expr, Pred, Tri};
+use crate::QueryError;
+use swim_store::Store;
+
+/// A typed query over one store: filter → group → aggregate → order/limit.
+///
+/// The projection is implicit: group-by expressions become the leading
+/// output columns, aggregates the rest. Only the ten numeric columns are
+/// ever decoded — names and path lists are not addressable here, so no
+/// query pays for them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Row filter ([`Pred::True`] keeps everything).
+    pub predicate: Pred,
+    /// Group keys; empty means one global group (aggregates over all
+    /// matching rows, always yielding exactly one row).
+    pub group_by: Vec<Expr>,
+    /// Output aggregates (at least one).
+    pub aggregates: Vec<Aggregate>,
+    /// Optional ordering over output columns; rows default to ascending
+    /// lexicographic group-key order.
+    pub order_by: Option<OrderBy>,
+    /// Optional row-count cap, applied after ordering.
+    pub limit: Option<usize>,
+}
+
+/// Ordering specification: an output column (group keys first, then
+/// aggregates, zero-based) and a direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderBy {
+    /// Zero-based output column index.
+    pub column: usize,
+    /// `true` for descending.
+    pub descending: bool,
+}
+
+impl Query {
+    /// Start a query that counts every job.
+    pub fn new() -> Query {
+        Query {
+            predicate: Pred::True,
+            group_by: Vec::new(),
+            aggregates: Vec::new(),
+            order_by: None,
+            limit: None,
+        }
+    }
+
+    /// Set the row filter.
+    pub fn filter(mut self, predicate: Pred) -> Query {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Append a group-by key.
+    pub fn group(mut self, key: Expr) -> Query {
+        self.group_by.push(key);
+        self
+    }
+
+    /// Append an output aggregate.
+    pub fn select(mut self, agg: Aggregate) -> Query {
+        self.aggregates.push(agg);
+        self
+    }
+
+    /// Order by an output column (zero-based; group keys come first).
+    pub fn order_by(mut self, column: usize, descending: bool) -> Query {
+        self.order_by = Some(OrderBy { column, descending });
+        self
+    }
+
+    /// Cap the number of output rows (after ordering).
+    pub fn limit(mut self, n: usize) -> Query {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Output column labels: group keys, then aggregates.
+    pub fn column_labels(&self) -> Vec<String> {
+        self.group_by
+            .iter()
+            .map(|e| e.to_string())
+            .chain(self.aggregates.iter().map(|a| a.to_string()))
+            .collect()
+    }
+
+    /// Validate the query shape before execution.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        if self.aggregates.is_empty() {
+            return Err(QueryError::Invalid(
+                "query selects no aggregates (try `count`)".into(),
+            ));
+        }
+        for agg in &self.aggregates {
+            if let Aggregate::Percentile(_, p) = agg {
+                if !(0.0..=1.0).contains(p) || !p.is_finite() {
+                    return Err(QueryError::Invalid(format!(
+                        "percentile rank {p} outside [0, 1]"
+                    )));
+                }
+            }
+        }
+        let columns = self.group_by.len() + self.aggregates.len();
+        if let Some(o) = self.order_by {
+            if o.column >= columns {
+                return Err(QueryError::Invalid(format!(
+                    "order-by column {} out of range (query has {columns} output columns)",
+                    o.column
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Query {
+    fn default() -> Query {
+        Query::new()
+    }
+}
+
+/// The physical plan: which chunks to read, and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Chunk indices to scan, in file order.
+    pub selected: Vec<usize>,
+    /// Indexed by *chunk index*: `true` when the zone verdict proved the
+    /// whole chunk matches, so execution skips the row filter for it.
+    pub full_match: Vec<bool>,
+    /// Total chunks in the store (scanned + skipped).
+    pub chunks_total: usize,
+}
+
+impl Plan {
+    /// Chunks the zone maps eliminated without reading a byte.
+    pub fn chunks_skipped(&self) -> usize {
+        self.chunks_total - self.selected.len()
+    }
+}
+
+/// Prune the store's chunks against the query predicate.
+pub fn plan(store: &Store, query: &Query) -> Plan {
+    let zones = store.zone_maps();
+    let mut selected = Vec::with_capacity(zones.len());
+    let mut full_match = vec![false; zones.len()];
+    for (idx, zone) in zones.iter().enumerate() {
+        match query.predicate.zone_verdict(zone) {
+            Tri::Never => {}
+            Tri::Maybe => selected.push(idx),
+            Tri::Always => {
+                full_match[idx] = true;
+                selected.push(idx);
+            }
+        }
+    }
+    Plan {
+        selected,
+        full_match,
+        chunks_total: zones.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Col};
+    use swim_store::{store_to_vec, StoreOptions};
+    use swim_trace::trace::WorkloadKind;
+    use swim_trace::{DataSize, Dur, JobBuilder, Timestamp, Trace};
+
+    fn store() -> Store {
+        // 100 jobs, 10 per chunk; submit = 100·i so chunk k covers
+        // [1000k, 1000k + 900]; input = i bytes.
+        let jobs = (0..100u64)
+            .map(|i| {
+                JobBuilder::new(i)
+                    .submit(Timestamp::from_secs(i * 100))
+                    .duration(Dur::from_secs(60))
+                    .input(DataSize::from_bytes(i))
+                    .map_task_time(Dur::from_secs(10))
+                    .tasks(1, 0)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let trace = Trace::new(WorkloadKind::Custom("plan".into()), 5, jobs).unwrap();
+        Store::from_vec(store_to_vec(&trace, &StoreOptions { jobs_per_chunk: 10 })).unwrap()
+    }
+
+    #[test]
+    fn planner_skips_on_non_submit_columns() {
+        let store = store();
+        // input >= 73: only chunks 7, 8, 9 can contain matches.
+        let q = Query::new()
+            .filter(Pred::cmp(Col::Input, CmpOp::Ge, 73))
+            .select(Aggregate::Count);
+        let p = plan(&store, &q);
+        assert_eq!(p.chunks_total, 10);
+        assert_eq!(p.selected, vec![7, 8, 9]);
+        assert_eq!(p.chunks_skipped(), 7);
+        // Chunks 8 and 9 match fully; 7 needs the row filter.
+        assert!(!p.full_match[7]);
+        assert!(p.full_match[8] && p.full_match[9]);
+    }
+
+    #[test]
+    fn trivial_predicate_selects_everything_as_full_match() {
+        let store = store();
+        let p = plan(&store, &Query::new().select(Aggregate::Count));
+        assert_eq!(p.selected.len(), 10);
+        assert!(p.full_match.iter().all(|&f| f));
+        assert_eq!(p.chunks_skipped(), 0);
+    }
+
+    #[test]
+    fn impossible_predicate_skips_every_chunk() {
+        let store = store();
+        let q = Query::new()
+            .filter(Pred::cmp(Col::Duration, CmpOp::Gt, 60))
+            .select(Aggregate::Count);
+        let p = plan(&store, &q);
+        assert!(p.selected.is_empty());
+        assert_eq!(p.chunks_skipped(), 10);
+    }
+
+    #[test]
+    fn validation_catches_bad_shapes() {
+        assert!(Query::new().validate().is_err()); // no aggregates
+        assert!(Query::new()
+            .select(Aggregate::Percentile(Expr::col(Col::Duration), 1.5))
+            .validate()
+            .is_err());
+        assert!(Query::new()
+            .select(Aggregate::Count)
+            .order_by(3, false)
+            .validate()
+            .is_err());
+        assert!(Query::new()
+            .select(Aggregate::Count)
+            .group(Expr::submit_hour())
+            .order_by(1, true)
+            .validate()
+            .is_ok());
+    }
+}

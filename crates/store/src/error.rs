@@ -21,6 +21,12 @@ pub enum StoreError {
     },
     /// The file carries a format version this build does not read.
     UnsupportedVersion(u16),
+    /// Writer options were rejected before any bytes were written
+    /// (e.g. a zero `jobs_per_chunk`).
+    InvalidOptions {
+        /// Which option was invalid and why.
+        context: &'static str,
+    },
     /// A trace-level failure while rebuilding [`swim_trace::Trace`].
     Trace(TraceError),
 }
@@ -35,6 +41,9 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt { context } => write!(f, "corrupt store: {context}"),
             StoreError::UnsupportedVersion(v) => {
                 write!(f, "unsupported store format version {v}")
+            }
+            StoreError::InvalidOptions { context } => {
+                write!(f, "invalid store options: {context}")
             }
             StoreError::Trace(e) => write!(f, "store trace error: {e}"),
         }
@@ -76,6 +85,9 @@ mod tests {
             .to_string()
             .contains("y"));
         assert!(StoreError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(StoreError::InvalidOptions { context: "z" }
+            .to_string()
+            .contains("z"));
         let io = StoreError::from(std::io::Error::other("boom"));
         assert!(io.to_string().contains("boom"));
         use std::error::Error as _;

@@ -24,11 +24,19 @@
 //! All fixed-width integers are little-endian. Per-chunk `min`/`max`
 //! submit times let readers skip chunks wholesale for time-range queries;
 //! the footer summary makes [`TraceSummary`]-style statistics O(1).
+//!
+//! Version 2 appends a zone-map section to the footer (`"SZMP"`, then per
+//! chunk `u64 min × 10` and `u64 max × 10`): `[min, max]` bounds for
+//! **every** numeric column — not just submit — in the column layout
+//! order of [`columns::NumericColumns`]. Zone maps let the `swim-query`
+//! planner skip chunks on arbitrary column predicates. Version 1 files
+//! (no zone section) still open and scan; readers synthesize permissive
+//! zone maps from the per-chunk submit windows.
 
 use crate::varint;
 use crate::StoreError;
 use swim_trace::trace::WorkloadKind;
-use swim_trace::{DataSize, Dur, Timestamp, TraceSummary};
+use swim_trace::{DataSize, Dur, Job, Timestamp, TraceSummary};
 
 /// File magic, first eight bytes.
 pub const FILE_MAGIC: [u8; 8] = *b"SWIMCOL1";
@@ -38,8 +46,15 @@ pub const END_MAGIC: [u8; 8] = *b"SWIMEND1";
 pub const CHUNK_MAGIC: u32 = u32::from_le_bytes(*b"SCHK");
 /// Footer magic.
 pub const FOOTER_MAGIC: u32 = u32::from_le_bytes(*b"SFTR");
-/// Format version written by this build.
-pub const VERSION: u16 = 1;
+/// Zone-map section magic (footer, version ≥ 2).
+pub const ZONE_MAGIC: u32 = u32::from_le_bytes(*b"SZMP");
+/// Format version written by this build (v2: footer zone maps).
+pub const VERSION: u16 = 2;
+/// The original format version: no zone-map section in the footer.
+pub const VERSION_1: u16 = 1;
+/// Number of numeric columns covered by a [`ZoneMap`] (the ten columns of
+/// [`columns::NumericColumns`], in layout order).
+pub const ZONE_COLUMNS: usize = 10;
 /// Size of the fixed trailer (footer offset + magic).
 pub const TRAILER_LEN: usize = 16;
 /// Size of each chunk block's fixed header ("SCHK", count, payload_len).
@@ -122,7 +137,7 @@ impl Header {
             });
         }
         let version = u16::from_le_bytes(r.take(2)?.try_into().expect("len 2"));
-        if version != VERSION {
+        if !(VERSION_1..=VERSION).contains(&version) {
             return Err(StoreError::UnsupportedVersion(version));
         }
         let tag = r.take(1)?[0];
@@ -204,19 +219,85 @@ impl StoredSummary {
     }
 }
 
-/// Parsed footer: the chunk index plus the stored summary.
+/// Per-chunk `[min, max]` bounds for every numeric column, in the column
+/// layout order of [`columns::NumericColumns`]: id, submit, duration,
+/// input, shuffle, output, map_time, reduce_time, map_tasks,
+/// reduce_tasks.
+///
+/// Written by format version 2; readers of version-1 files synthesize a
+/// permissive map via [`ZoneMap::submit_only`] so planners can treat
+/// every store uniformly (v1 maps prune on submit alone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneMap {
+    /// Per-column minimum over the chunk's jobs.
+    pub min: [u64; ZONE_COLUMNS],
+    /// Per-column maximum over the chunk's jobs.
+    pub max: [u64; ZONE_COLUMNS],
+}
+
+impl ZoneMap {
+    /// Index of the submit column within the zone arrays.
+    pub const SUBMIT: usize = 1;
+
+    /// Compute the zone map of a (non-empty) chunk of jobs.
+    pub fn of_jobs(jobs: &[Job]) -> ZoneMap {
+        let mut min = [u64::MAX; ZONE_COLUMNS];
+        let mut max = [0u64; ZONE_COLUMNS];
+        for j in jobs {
+            let values = [
+                j.id.0,
+                j.submit.secs(),
+                j.duration.secs(),
+                j.input.bytes(),
+                j.shuffle.bytes(),
+                j.output.bytes(),
+                j.map_task_time.secs(),
+                j.reduce_task_time.secs(),
+                u64::from(j.map_tasks),
+                u64::from(j.reduce_tasks),
+            ];
+            for (i, v) in values.into_iter().enumerate() {
+                min[i] = min[i].min(v);
+                max[i] = max[i].max(v);
+            }
+        }
+        ZoneMap { min, max }
+    }
+
+    /// The permissive map synthesized for version-1 chunks: real bounds
+    /// for submit (the v1 index stores them), full-range everywhere else,
+    /// so non-submit predicates can never wrongly skip a v1 chunk.
+    pub fn submit_only(min_submit: Timestamp, max_submit: Timestamp) -> ZoneMap {
+        let mut min = [0u64; ZONE_COLUMNS];
+        let mut max = [u64::MAX; ZONE_COLUMNS];
+        min[Self::SUBMIT] = min_submit.secs();
+        max[Self::SUBMIT] = max_submit.secs();
+        ZoneMap { min, max }
+    }
+}
+
+/// Parsed footer: the chunk index, the stored summary, and (version ≥ 2)
+/// the per-chunk zone maps.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Footer {
     /// Per-chunk index entries, in file order (non-decreasing min_submit).
     pub chunks: Vec<ChunkMeta>,
     /// Whole-trace statistics.
     pub summary: StoredSummary,
+    /// Per-chunk zone maps (`Some` iff the file carries the v2 section;
+    /// when present, one entry per chunk).
+    pub zones: Option<Vec<ZoneMap>>,
 }
 
 impl Footer {
-    /// Serialize the footer.
+    /// Serialize the footer (the zone section is written iff `zones` is
+    /// `Some`).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 + self.chunks.len() * 40 + 40);
+        let zone_len = self
+            .zones
+            .as_ref()
+            .map_or(0, |z| 4 + z.len() * 16 * ZONE_COLUMNS);
+        let mut out = Vec::with_capacity(8 + self.chunks.len() * 40 + 40 + zone_len);
         out.extend_from_slice(&FOOTER_MAGIC.to_le_bytes());
         out.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
         for c in &self.chunks {
@@ -232,10 +313,20 @@ impl Footer {
         out.extend_from_slice(&s.task_time.secs().to_le_bytes());
         out.extend_from_slice(&s.min_submit.secs().to_le_bytes());
         out.extend_from_slice(&s.max_submit.secs().to_le_bytes());
+        if let Some(zones) = &self.zones {
+            out.extend_from_slice(&ZONE_MAGIC.to_le_bytes());
+            for z in zones {
+                for v in z.min.iter().chain(z.max.iter()) {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
         out
     }
 
-    /// Parse a footer from `bytes`.
+    /// Parse a footer from `bytes`. The zone section is recognized by its
+    /// magic, so decoding needs no out-of-band version (v1 footers simply
+    /// end after the summary).
     pub fn decode(bytes: &[u8]) -> Result<Footer, StoreError> {
         let mut r = Reader::new(bytes);
         let magic = u32::from_le_bytes(r.take(4)?.try_into().expect("len 4"));
@@ -269,7 +360,38 @@ impl Footer {
             min_submit: Timestamp::from_secs(r.u64()?),
             max_submit: Timestamp::from_secs(r.u64()?),
         };
-        Ok(Footer { chunks, summary })
+        let zones = if r.remaining() == 0 {
+            None // v1 footer: nothing after the summary.
+        } else {
+            let magic = u32::from_le_bytes(r.take(4)?.try_into().expect("len 4"));
+            if magic != ZONE_MAGIC {
+                return Err(StoreError::Corrupt {
+                    context: "bad zone-map magic",
+                });
+            }
+            if r.remaining() != chunks.len() * 16 * ZONE_COLUMNS {
+                return Err(StoreError::Corrupt {
+                    context: "zone-map section length disagrees with chunk count",
+                });
+            }
+            let mut zones = Vec::with_capacity(chunks.len());
+            for _ in 0..chunks.len() {
+                let mut z = ZoneMap {
+                    min: [0; ZONE_COLUMNS],
+                    max: [0; ZONE_COLUMNS],
+                };
+                for v in z.min.iter_mut().chain(z.max.iter_mut()) {
+                    *v = r.u64()?;
+                }
+                zones.push(z);
+            }
+            Some(zones)
+        };
+        Ok(Footer {
+            chunks,
+            summary,
+            zones,
+        })
     }
 }
 
@@ -300,6 +422,10 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self) -> Result<u64, StoreError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
     }
 }
 
@@ -621,8 +747,91 @@ mod tests {
                 min_submit: Timestamp::from_secs(0),
                 max_submit: Timestamp::from_secs(9000),
             },
+            zones: None,
         };
+        // v1 layout (no zone section).
         assert_eq!(Footer::decode(&f.encode()).unwrap(), f);
+
+        // v2 layout: one zone map per chunk.
+        let mut v2 = f.clone();
+        v2.zones = Some(
+            (0..2)
+                .map(|i| ZoneMap {
+                    min: [i; ZONE_COLUMNS],
+                    max: [i + 100; ZONE_COLUMNS],
+                })
+                .collect(),
+        );
+        assert_eq!(Footer::decode(&v2.encode()).unwrap(), v2);
+    }
+
+    #[test]
+    fn zone_section_length_must_match_chunk_count() {
+        let f = Footer {
+            chunks: vec![ChunkMeta {
+                offset: 24,
+                block_len: 10,
+                job_count: 1,
+                min_submit: Timestamp::ZERO,
+                max_submit: Timestamp::ZERO,
+            }],
+            summary: StoredSummary {
+                jobs: 1,
+                bytes_moved: DataSize::ZERO,
+                task_time: Dur::ZERO,
+                min_submit: Timestamp::ZERO,
+                max_submit: Timestamp::ZERO,
+            },
+            zones: Some(vec![ZoneMap {
+                min: [0; ZONE_COLUMNS],
+                max: [0; ZONE_COLUMNS],
+            }]),
+        };
+        let mut bytes = f.encode();
+        bytes.extend_from_slice(&[0u8; 8]); // extra trailing bytes
+        assert!(matches!(
+            Footer::decode(&bytes),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn zone_map_of_jobs_bounds_every_column() {
+        use swim_trace::JobBuilder;
+        let jobs = [
+            JobBuilder::new(3)
+                .submit(Timestamp::from_secs(100))
+                .duration(Dur::from_secs(9))
+                .input(DataSize::from_bytes(50))
+                .map_task_time(Dur::from_secs(7))
+                .tasks(2, 0)
+                .build()
+                .unwrap(),
+            JobBuilder::new(8)
+                .submit(Timestamp::from_secs(200))
+                .duration(Dur::from_secs(1))
+                .input(DataSize::from_bytes(5))
+                .shuffle(DataSize::from_bytes(11))
+                .map_task_time(Dur::from_secs(70))
+                .reduce_task_time(Dur::from_secs(3))
+                .tasks(5, 4)
+                .build()
+                .unwrap(),
+        ];
+        let z = ZoneMap::of_jobs(&jobs);
+        assert_eq!(z.min, [3, 100, 1, 5, 0, 0, 7, 0, 2, 0]);
+        assert_eq!(z.max, [8, 200, 9, 50, 11, 0, 70, 3, 5, 4]);
+    }
+
+    #[test]
+    fn submit_only_zone_is_permissive_everywhere_else() {
+        let z = ZoneMap::submit_only(Timestamp::from_secs(5), Timestamp::from_secs(9));
+        assert_eq!(z.min[ZoneMap::SUBMIT], 5);
+        assert_eq!(z.max[ZoneMap::SUBMIT], 9);
+        for i in (0..ZONE_COLUMNS).filter(|&i| i != ZoneMap::SUBMIT) {
+            assert_eq!(z.min[i], 0);
+            assert_eq!(z.max[i], u64::MAX);
+        }
     }
 
     #[test]

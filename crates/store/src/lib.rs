@@ -63,9 +63,11 @@ pub mod varint;
 pub mod writer;
 
 pub use error::StoreError;
-pub use format::{ChunkMeta, StoredSummary, DEFAULT_JOBS_PER_CHUNK};
+pub use format::{ChunkMeta, StoredSummary, ZoneMap, DEFAULT_JOBS_PER_CHUNK, ZONE_COLUMNS};
 pub use store::{ChunkScan, JobScan, Store};
-pub use writer::{store_to_vec, write_store, write_store_path, StoreOptions, StoreStats};
+pub use writer::{
+    store_to_vec, write_store, write_store_path, StoreOptions, StoreStats, MAX_JOBS_PER_CHUNK,
+};
 
 #[cfg(test)]
 mod tests {
@@ -143,6 +145,120 @@ mod tests {
         let scan = store.scan_range(from, to).unwrap();
         assert!(scan.skipped_chunks > 0, "range scan should skip chunks");
         assert!(scan.selected_chunks() < store.chunk_count());
+    }
+
+    #[test]
+    fn range_bounds_are_inclusive_from_exclusive_to() {
+        // Jobs at t = 0, 100, 200, …; chunk size 1 so every job is its
+        // own chunk and the index, not luck, decides inclusion.
+        let jobs = (0..10u64)
+            .map(|i| {
+                JobBuilder::new(i)
+                    .submit(Timestamp::from_secs(i * 100))
+                    .map_task_time(Dur::from_secs(1))
+                    .tasks(1, 0)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let trace = Trace::new(WorkloadKind::Custom("bounds".into()), 1, jobs).unwrap();
+        let store =
+            Store::from_vec(store_to_vec(&trace, &StoreOptions { jobs_per_chunk: 1 })).unwrap();
+        let ids = |from: u64, to: u64| -> Vec<u64> {
+            store
+                .read_range(Timestamp::from_secs(from), Timestamp::from_secs(to))
+                .unwrap()
+                .jobs()
+                .iter()
+                .map(|j| j.id.0)
+                .collect()
+        };
+        // A job exactly at `from` is included; exactly at `to` is not.
+        assert_eq!(ids(200, 400), vec![2, 3]);
+        // Adjacent ranges partition: no job seen twice or dropped.
+        let mut both = ids(0, 300);
+        both.extend(ids(300, 1000));
+        assert_eq!(both, (0..10).collect::<Vec<_>>());
+        // Degenerate ranges select nothing.
+        assert_eq!(ids(200, 200), Vec::<u64>::new());
+        assert_eq!(ids(400, 200), Vec::<u64>::new());
+        // par_scan_range agrees with the streaming bounds.
+        let n = store
+            .par_scan_range(
+                Timestamp::from_secs(200),
+                Timestamp::from_secs(400),
+                || 0u64,
+                |acc, _| acc + 1,
+                |a, b| a + b,
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn v2_stores_carry_zone_maps_for_every_numeric_column() {
+        let trace = varied_trace(500);
+        let store =
+            Store::from_vec(store_to_vec(&trace, &StoreOptions { jobs_per_chunk: 64 })).unwrap();
+        assert_eq!(store.format_version(), crate::format::VERSION);
+        assert_eq!(store.zone_maps().len(), store.chunk_count());
+        // Every chunk's zone map brackets every job in the chunk, per
+        // column, and is tight (attained by some job).
+        for (idx, zone) in store.zone_maps().iter().enumerate() {
+            let cols = store.read_chunk_columns(idx).unwrap();
+            let per_col: [&[u64]; ZONE_COLUMNS] = [
+                &cols.ids,
+                &cols.submits,
+                &cols.durations,
+                &cols.inputs,
+                &cols.shuffles,
+                &cols.outputs,
+                &cols.map_times,
+                &cols.reduce_times,
+                &cols.map_tasks,
+                &cols.reduce_tasks,
+            ];
+            for (c, values) in per_col.iter().enumerate() {
+                assert_eq!(
+                    zone.min[c],
+                    *values.iter().min().unwrap(),
+                    "chunk {idx} col {c}"
+                );
+                assert_eq!(
+                    zone.max[c],
+                    *values.iter().max().unwrap(),
+                    "chunk {idx} col {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_columns_serial_equals_parallel() {
+        let trace = varied_trace(2_000);
+        let store = Store::from_vec(store_to_vec(
+            &trace,
+            &StoreOptions {
+                jobs_per_chunk: 128,
+            },
+        ))
+        .unwrap();
+        let selected: Vec<usize> = (0..store.chunk_count()).step_by(2).collect();
+        let fold = |acc: (u64, u64), _idx: usize, cols: &format::columns::NumericColumns| {
+            let sum: u64 = cols.inputs.iter().fold(0u64, |a, &v| a.saturating_add(v));
+            (acc.0 + cols.len() as u64, acc.1.saturating_add(sum))
+        };
+        let serial = store.fold_columns(&selected, (0, 0), fold).unwrap();
+        let parallel = store
+            .par_fold_columns(
+                &selected,
+                || (0, 0),
+                fold,
+                |a, b| (a.0 + b.0, a.1.saturating_add(b.1)),
+            )
+            .unwrap();
+        assert_eq!(serial, parallel);
+        assert!(serial.0 > 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! streaming chunk scans at bounded memory, time-range scans that skip
 //! chunks via the index, and a parallel fold over chunks.
 
-use crate::format::{self, ChunkMeta, Footer, Header, StoredSummary};
+use crate::format::{self, ChunkMeta, Footer, Header, StoredSummary, ZoneMap};
 use crate::StoreError;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
@@ -66,6 +66,9 @@ pub struct Store {
     header: Header,
     chunks: Vec<ChunkMeta>,
     summary: StoredSummary,
+    /// One zone map per chunk: read from the footer for v2 files,
+    /// synthesized (submit bounds only, permissive elsewhere) for v1.
+    zones: Vec<ZoneMap>,
 }
 
 impl Store {
@@ -115,7 +118,11 @@ impl Store {
         }
         let footer_bytes =
             handle.read_span(footer_offset, file_len - trailer_len - footer_offset)?;
-        let Footer { chunks, summary } = Footer::decode(&footer_bytes)?;
+        let Footer {
+            chunks,
+            summary,
+            zones,
+        } = Footer::decode(&footer_bytes)?;
 
         // Header: fixed 24 bytes, then the custom-kind label if present.
         let fixed = handle.read_span(0, 24)?;
@@ -165,11 +172,37 @@ impl Store {
                 context: "summary job count disagrees with chunk index",
             });
         }
+        // Zone maps: v2 files must carry the section; v1 files must not
+        // (their maps are synthesized from the submit windows so every
+        // reader sees a uniform, if permissive, index). When present,
+        // `Footer::decode` has already sized the section to exactly one
+        // map per chunk.
+        let zones = match (header.version, zones) {
+            (format::VERSION_1, None) => chunks
+                .iter()
+                .map(|c| ZoneMap::submit_only(c.min_submit, c.max_submit))
+                .collect(),
+            (format::VERSION_1, Some(_)) => {
+                return Err(StoreError::Corrupt {
+                    context: "v1 file carries a zone-map section",
+                })
+            }
+            (_, Some(zones)) => {
+                debug_assert_eq!(zones.len(), chunks.len(), "sized by Footer::decode");
+                zones
+            }
+            (_, None) => {
+                return Err(StoreError::Corrupt {
+                    context: "v2 footer missing zone-map section",
+                })
+            }
+        };
         Ok(Store {
             source,
             header,
             chunks,
             summary,
+            zones,
         })
     }
 
@@ -196,6 +229,21 @@ impl Store {
     /// The chunk index (offsets, job counts, submit-time windows).
     pub fn chunk_meta(&self) -> &[ChunkMeta] {
         &self.chunks
+    }
+
+    /// Format version the file was written with (1 or 2).
+    pub fn format_version(&self) -> u16 {
+        self.header.version
+    }
+
+    /// Per-chunk zone maps: `[min, max]` bounds for every numeric column.
+    ///
+    /// Version-2 files store these in the footer; for version-1 files the
+    /// maps are synthesized at open (real submit bounds, full range for
+    /// every other column), so planners can prune uniformly — a v1 map
+    /// simply never rules a chunk out on a non-submit predicate.
+    pub fn zone_maps(&self) -> &[ZoneMap] {
+        &self.zones
     }
 
     /// The summary stored in the footer.
@@ -235,6 +283,91 @@ impl Store {
         self.read_chunk_with(&mut handle, idx)
     }
 
+    /// Read one chunk's raw block, validating the header against the
+    /// footer index; returns `(job_count, block)` where the payload is
+    /// `block[CHUNK_HEADER_LEN..]`.
+    fn read_block_with(
+        &self,
+        handle: &mut ReadHandle,
+        idx: usize,
+    ) -> Result<(usize, Vec<u8>), StoreError> {
+        let meta = &self.chunks[idx];
+        let block = handle.read_span(meta.offset, meta.block_len)?;
+        let (job_count, _) = format::decode_chunk_header(&block)?;
+        if u64::from(job_count) != meta.job_count {
+            return Err(StoreError::Corrupt {
+                context: "chunk job count disagrees with index",
+            });
+        }
+        Ok((job_count as usize, block))
+    }
+
+    /// Decode one chunk's numeric column projection by index (names and
+    /// paths are never touched).
+    pub fn read_chunk_columns(
+        &self,
+        idx: usize,
+    ) -> Result<format::columns::NumericColumns, StoreError> {
+        assert!(idx < self.chunks.len(), "chunk index out of range");
+        let mut handle = self.new_handle()?;
+        let (n, block) = self.read_block_with(&mut handle, idx)?;
+        format::columns::decode_numeric(&block[format::CHUNK_HEADER_LEN..], n)
+    }
+
+    /// Serial fold over an explicit set of chunks (by index, visited in
+    /// the given order) as numeric column projections, sharing one read
+    /// handle. This is `swim-query`'s serial execution path; the parallel
+    /// twin is [`Store::par_fold_columns`].
+    pub fn fold_columns<T, F>(
+        &self,
+        selected: &[usize],
+        init: T,
+        mut fold: F,
+    ) -> Result<T, StoreError>
+    where
+        F: FnMut(T, usize, &format::columns::NumericColumns) -> T,
+    {
+        let mut handle = self.new_handle()?;
+        let mut acc = init;
+        for &idx in selected {
+            assert!(idx < self.chunks.len(), "chunk index out of range");
+            let (n, block) = self.read_block_with(&mut handle, idx)?;
+            let cols = format::columns::decode_numeric(&block[format::CHUNK_HEADER_LEN..], n)?;
+            acc = fold(acc, idx, &cols);
+        }
+        Ok(acc)
+    }
+
+    /// Parallel fold over an explicit set of chunks (by index) as numeric
+    /// column projections: workers claim indices off a shared counter,
+    /// decode with their own read handle, and fold into per-worker
+    /// accumulators that are combined with `merge`. Visit order is
+    /// unspecified, so `fold`/`merge` must be order-insensitive for the
+    /// result to match [`Store::fold_columns`].
+    pub fn par_fold_columns<T, I, F, M>(
+        &self,
+        selected: &[usize],
+        init: I,
+        fold: F,
+        merge: M,
+    ) -> Result<T, StoreError>
+    where
+        T: Send,
+        I: Fn() -> T + Send + Sync,
+        F: Fn(T, usize, &format::columns::NumericColumns) -> T + Send + Sync,
+        M: Fn(T, T) -> T,
+    {
+        self.par_fold_payloads(
+            selected,
+            init,
+            |acc, idx, job_count, payload| {
+                let cols = format::columns::decode_numeric(payload, job_count)?;
+                Ok(fold(acc, idx, &cols))
+            },
+            merge,
+        )
+    }
+
     /// Stream every chunk in order. Memory stays bounded by one chunk.
     pub fn scan(&self) -> Result<ChunkScan<'_>, StoreError> {
         let selected = (0..self.chunks.len()).collect();
@@ -248,8 +381,14 @@ impl Store {
         })
     }
 
-    /// Stream jobs submitted in `[from, to)`, skipping chunks whose
-    /// `[min, max]` submit window falls outside the range.
+    /// Stream jobs submitted in the half-open range `[from, to)`,
+    /// skipping chunks whose `[min, max]` submit window falls outside it.
+    ///
+    /// Boundary semantics (pinned by tests): a job submitted exactly at
+    /// `from` **is** included; a job submitted exactly at `to` is **not**.
+    /// `from >= to` selects nothing. [`Store::read_range`] and
+    /// [`Store::par_scan_range`] share these bounds, and they compose:
+    /// scanning `[a, b)` then `[b, c)` visits each job exactly once.
     pub fn scan_range(&self, from: Timestamp, to: Timestamp) -> Result<ChunkScan<'_>, StoreError> {
         let selected: Vec<usize> = (0..self.chunks.len())
             .filter(|&i| {
@@ -281,8 +420,10 @@ impl Store {
         ))
     }
 
-    /// Rebuild only the jobs submitted in `[from, to)` as a trace,
-    /// skipping non-overlapping chunks entirely.
+    /// Rebuild only the jobs submitted in the half-open range `[from, to)`
+    /// as a trace, skipping non-overlapping chunks entirely. Bounds are
+    /// inclusive of `from` and exclusive of `to`, exactly as in
+    /// [`Store::scan_range`].
     pub fn read_range(&self, from: Timestamp, to: Timestamp) -> Result<Trace, StoreError> {
         let mut jobs = Vec::new();
         for chunk in self.scan_range(from, to)? {
@@ -312,8 +453,9 @@ impl Store {
         self.par_scan_chunks(None, init, fold, merge)
     }
 
-    /// Parallel fold over the chunks overlapping `[from, to)`, folding
-    /// only jobs inside the range.
+    /// Parallel fold over the chunks overlapping the half-open range
+    /// `[from, to)`, folding only jobs inside it (`from` inclusive, `to`
+    /// exclusive — the [`Store::scan_range`] bounds).
     pub fn par_scan_range<T, I, F, M>(
         &self,
         from: Timestamp,
@@ -345,7 +487,7 @@ impl Store {
         M: Fn(T, T) -> T,
     {
         self.par_fold_payloads(
-            range,
+            &self.chunks_overlapping(range),
             init,
             |mut acc, _idx, job_count, payload| {
                 let jobs = format::columns::decode(payload, job_count)?;
@@ -363,6 +505,20 @@ impl Store {
         )
     }
 
+    /// Indices of the chunks whose submit window overlaps the half-open
+    /// range (all chunks when `range` is `None`).
+    fn chunks_overlapping(&self, range: Option<(Timestamp, Timestamp)>) -> Vec<usize> {
+        match range {
+            None => (0..self.chunks.len()).collect(),
+            Some((from, to)) => (0..self.chunks.len())
+                .filter(|&i| {
+                    let m = &self.chunks[i];
+                    m.max_submit >= from && m.min_submit < to
+                })
+                .collect(),
+        }
+    }
+
     /// Parallel fold over chunks as *numeric column projections*: only the
     /// ten numeric columns are decoded (they are laid out before names and
     /// paths, which are never touched), so statistics scans run without a
@@ -376,7 +532,7 @@ impl Store {
         M: Fn(T, T) -> T,
     {
         self.par_fold_payloads(
-            None,
+            &self.chunks_overlapping(None),
             init,
             |acc, _idx, job_count, payload| {
                 let cols = format::columns::decode_numeric(payload, job_count)?;
@@ -386,11 +542,12 @@ impl Store {
         )
     }
 
-    /// Shared worker pool: claims chunks off a counter, hands each chunk's
-    /// raw payload to `fold_payload`, merges per-worker accumulators.
+    /// Shared worker pool: claims the given chunk indices off a counter,
+    /// hands each chunk's raw payload to `fold_payload`, merges per-worker
+    /// accumulators.
     fn par_fold_payloads<T, I, FP, M>(
         &self,
-        range: Option<(Timestamp, Timestamp)>,
+        selected: &[usize],
         init: I,
         fold_payload: FP,
         merge: M,
@@ -401,15 +558,6 @@ impl Store {
         FP: Fn(T, usize, usize, &[u8]) -> Result<T, StoreError> + Send + Sync,
         M: Fn(T, T) -> T,
     {
-        let selected: Vec<usize> = match range {
-            None => (0..self.chunks.len()).collect(),
-            Some((from, to)) => (0..self.chunks.len())
-                .filter(|&i| {
-                    let m = &self.chunks[i];
-                    m.max_submit >= from && m.min_submit < to
-                })
-                .collect(),
-        };
         if selected.is_empty() {
             return Ok(init());
         }
@@ -418,7 +566,6 @@ impl Store {
             .unwrap_or(1)
             .min(selected.len());
         let cursor = AtomicUsize::new(0);
-        let selected = &selected;
         let (init, fold_payload) = (&init, &fold_payload);
         let worker_results: Vec<Result<T, StoreError>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
@@ -431,18 +578,12 @@ impl Store {
                             let Some(&idx) = selected.get(slot) else {
                                 break;
                             };
-                            let meta = &self.chunks[idx];
-                            let block = handle.read_span(meta.offset, meta.block_len)?;
-                            let (job_count, _) = format::decode_chunk_header(&block)?;
-                            if u64::from(job_count) != meta.job_count {
-                                return Err(StoreError::Corrupt {
-                                    context: "chunk job count disagrees with index",
-                                });
-                            }
+                            assert!(idx < self.chunks.len(), "chunk index out of range");
+                            let (job_count, block) = self.read_block_with(&mut handle, idx)?;
                             acc = fold_payload(
                                 acc,
                                 idx,
-                                job_count as usize,
+                                job_count,
                                 &block[format::CHUNK_HEADER_LEN..],
                             )?;
                         }

@@ -6,7 +6,7 @@
 //! chunk's worth of jobs plus the index.
 
 use crate::format::{
-    self, ChunkMeta, Footer, Header, StoredSummary, DEFAULT_JOBS_PER_CHUNK, VERSION,
+    self, ChunkMeta, Footer, Header, StoredSummary, ZoneMap, DEFAULT_JOBS_PER_CHUNK, VERSION,
 };
 use crate::StoreError;
 use std::fs::File;
@@ -14,10 +14,18 @@ use std::io::{BufWriter, Write};
 use std::path::Path;
 use swim_trace::{DataSize, Dur, Job, Timestamp, Trace};
 
+/// Largest accepted `jobs_per_chunk`. Chunks are decoded whole, so a
+/// chunk bigger than this defeats both chunk skipping and the bounded
+/// memory of streaming scans; [`StoreOptions::validate`] caps requests
+/// above it rather than writing a pathological file.
+pub const MAX_JOBS_PER_CHUNK: u32 = 1 << 20;
+
 /// Tuning knobs for [`write_store`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreOptions {
-    /// Jobs per chunk (chunk-skip granularity). Clamped to at least 1.
+    /// Jobs per chunk (chunk-skip granularity). Zero is rejected by
+    /// [`StoreOptions::validate`]; values above [`MAX_JOBS_PER_CHUNK`]
+    /// are capped to it.
     pub jobs_per_chunk: u32,
 }
 
@@ -26,6 +34,21 @@ impl Default for StoreOptions {
         StoreOptions {
             jobs_per_chunk: DEFAULT_JOBS_PER_CHUNK,
         }
+    }
+}
+
+impl StoreOptions {
+    /// Validate the options, returning the effective chunk size: zero is
+    /// a typed [`StoreError::InvalidOptions`] (a zero-job chunk can never
+    /// make progress), and absurdly large values are capped to
+    /// [`MAX_JOBS_PER_CHUNK`].
+    pub fn validate(&self) -> Result<u32, StoreError> {
+        if self.jobs_per_chunk == 0 {
+            return Err(StoreError::InvalidOptions {
+                context: "jobs_per_chunk must be at least 1",
+            });
+        }
+        Ok(self.jobs_per_chunk.min(MAX_JOBS_PER_CHUNK))
     }
 }
 
@@ -50,7 +73,7 @@ pub fn write_store<W: Write>(
     options: &StoreOptions,
 ) -> Result<StoreStats, StoreError> {
     let mut w = BufWriter::new(writer);
-    let jobs_per_chunk = options.jobs_per_chunk.max(1);
+    let jobs_per_chunk = options.validate()?;
     let header = Header {
         version: VERSION,
         kind: trace.kind.clone(),
@@ -62,6 +85,7 @@ pub fn write_store<W: Write>(
     let mut offset = header_bytes.len() as u64;
 
     let mut chunks: Vec<ChunkMeta> = Vec::new();
+    let mut zones: Vec<ZoneMap> = Vec::new();
     let mut bytes_moved = DataSize::ZERO;
     let mut task_time = Dur::ZERO;
     let mut payload = Vec::new();
@@ -80,6 +104,7 @@ pub fn write_store<W: Write>(
             min_submit: min_submit(chunk_jobs),
             max_submit: max_submit(chunk_jobs),
         });
+        zones.push(ZoneMap::of_jobs(chunk_jobs));
         offset += block_len;
         for job in chunk_jobs {
             bytes_moved += job.total_io();
@@ -94,7 +119,11 @@ pub fn write_store<W: Write>(
         min_submit: trace.start().unwrap_or(Timestamp::ZERO),
         max_submit: trace.end().unwrap_or(Timestamp::ZERO),
     };
-    let footer = Footer { chunks, summary };
+    let footer = Footer {
+        chunks,
+        summary,
+        zones: Some(zones),
+    };
     let footer_bytes = footer.encode();
     w.write_all(&footer_bytes)?;
     w.write_all(&format::encode_trailer(offset))?;
@@ -135,9 +164,14 @@ pub fn write_store_path(
 }
 
 /// Encode a trace into an in-memory store image.
+///
+/// # Panics
+///
+/// Panics if `options` fail [`StoreOptions::validate`] (the only way
+/// writing to a `Vec` can fail).
 pub fn store_to_vec(trace: &Trace, options: &StoreOptions) -> Vec<u8> {
     let mut buf = Vec::new();
-    write_store(trace, &mut buf, options).expect("Vec writer cannot fail");
+    write_store(trace, &mut buf, options).expect("valid options; Vec writer cannot fail");
     buf
 }
 
@@ -175,10 +209,48 @@ mod tests {
     }
 
     #[test]
-    fn zero_jobs_per_chunk_is_clamped() {
+    fn zero_jobs_per_chunk_is_a_typed_error() {
         let t = tiny_trace(3);
-        let stats = write_store(&t, std::io::sink(), &StoreOptions { jobs_per_chunk: 0 }).unwrap();
-        assert_eq!(stats.chunks, 3);
+        let err = write_store(&t, std::io::sink(), &StoreOptions { jobs_per_chunk: 0 })
+            .expect_err("zero chunk size must be rejected");
+        assert!(
+            matches!(err, StoreError::InvalidOptions { .. }),
+            "unexpected error {err:?}"
+        );
+        assert!(err.to_string().contains("jobs_per_chunk"));
+    }
+
+    #[test]
+    fn absurd_jobs_per_chunk_is_capped() {
+        assert_eq!(
+            StoreOptions {
+                jobs_per_chunk: u32::MAX
+            }
+            .validate()
+            .unwrap(),
+            MAX_JOBS_PER_CHUNK
+        );
+        // The cap itself and everything below pass through unchanged.
+        assert_eq!(
+            StoreOptions {
+                jobs_per_chunk: MAX_JOBS_PER_CHUNK
+            }
+            .validate()
+            .unwrap(),
+            MAX_JOBS_PER_CHUNK
+        );
+        assert_eq!(StoreOptions { jobs_per_chunk: 1 }.validate().unwrap(), 1);
+        // A capped request writes a valid file whose header records the
+        // effective chunk size, not the request.
+        let t = tiny_trace(3);
+        let bytes = store_to_vec(
+            &t,
+            &StoreOptions {
+                jobs_per_chunk: u32::MAX,
+            },
+        );
+        let store = crate::Store::from_vec(bytes).unwrap();
+        assert_eq!(store.read_trace().unwrap(), t);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`store`] — a columnar, chunked binary trace store with parallel
 //!   chunked scans, for million-job histories that should not be
 //!   re-parsed from text (or held in RAM) on every analysis;
+//! * [`query`] — a vectorized filter/group/aggregate query engine over
+//!   the store, with per-chunk zone maps (format v2) that let the
+//!   planner skip chunks on any numeric-column predicate;
 //! * [`report`] — the document model (report → section → block), the
 //!   Markdown/HTML renderers, and the parallel cross-trace comparison
 //!   pipeline behind the `swim-report` binary.
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub use swim_core as core;
+pub use swim_query as query;
 pub use swim_report as report;
 pub use swim_sim as sim;
 pub use swim_store as store;
@@ -57,6 +61,7 @@ pub use swim_workloadgen as workloadgen;
 /// The most common imports in one place.
 pub mod prelude {
     pub use swim_core::workload::WorkloadAnalysis;
+    pub use swim_query::Query;
     pub use swim_sim::{CachePolicy, SimConfig, Simulator};
     pub use swim_store::{Store, StoreOptions};
     pub use swim_synth::sample::{sample_windows, SampleConfig};
