@@ -1,0 +1,301 @@
+//! `swim-catalog`: manage and query sharded trace-dataset catalogs.
+//!
+//! ```text
+//! swim-catalog init DIR
+//! swim-catalog ingest DIR TRACE... [--machines N] [--jobs-per-shard N]
+//!                                  [--jobs-per-chunk N] [--adopt]
+//! swim-catalog stats DIR
+//! swim-catalog compact DIR [--jobs-per-shard N] [--jobs-per-chunk N] [--vacuum]
+//! swim-catalog query DIR --select AGGS [--where PRED] [--group-by EXPRS]
+//!                        [--order-by N] [--desc] [--limit N]
+//!                        [--format table|md|json] [--serial]
+//! ```
+//!
+//! `ingest` accepts `.csv` (labelled by file stem, sized by
+//! `--machines`), `.swim`/`.store` (streamed chunk by chunk), and
+//! JSON-lines; `--adopt` copies `.swim` files in verbatim as single
+//! shards instead of re-sharding them. `query` is federated: shards are
+//! pruned by manifest-level zone maps before any file is opened, then by
+//! per-chunk zone maps. Tables go to stdout, pruning summaries to
+//! stderr.
+
+use std::process::ExitCode;
+use swim_catalog::{Catalog, CatalogOptions};
+use swim_query::{cli, CatalogQuery};
+use swim_store::StoreOptions;
+
+const USAGE: &str = "usage:\n\
+ swim-catalog init DIR\n\
+ swim-catalog ingest DIR TRACE... [--machines N] [--jobs-per-shard N] \
+ [--jobs-per-chunk N] [--adopt]\n\
+ swim-catalog stats DIR\n\
+ swim-catalog compact DIR [--jobs-per-shard N] [--jobs-per-chunk N] [--vacuum]\n\
+ swim-catalog query DIR --select AGGS [--where PRED] [--group-by EXPRS] \
+ [--order-by N] [--desc] [--limit N] [--format table|md|json] [--serial]\n\
+ trace formats by extension: .csv (needs --machines), .swim/.store \
+ (streamed), anything else JSON-lines";
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {msg}\n");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+struct OptionFlags {
+    machines: u32,
+    options: CatalogOptions,
+    adopt: bool,
+    vacuum: bool,
+    /// Flags actually present on the command line (so subcommands can
+    /// reject combinations where a given flag would have no effect).
+    seen: Vec<&'static str>,
+}
+
+/// Split option flags out of an argument stream; everything else
+/// (subcommand positionals) is returned in order. Each subcommand
+/// passes the flags it actually honours — anything else (misplaced or
+/// unknown) is an error, never silently ignored.
+fn split_flags(
+    args: &[String],
+    allowed: &[&'static str],
+) -> Result<(Vec<String>, OptionFlags), String> {
+    let mut flags = OptionFlags {
+        machines: 100,
+        options: CatalogOptions::default(),
+        adopt: false,
+        vacuum: false,
+        seen: Vec::new(),
+    };
+    let mut positional = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut next = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let parse_u32 = |flag: &str, value: &str| -> Result<u32, String> {
+            value
+                .parse()
+                .map_err(|_| format!("{flag} requires an integer, got {value:?}"))
+        };
+        if arg.starts_with('-') {
+            if !allowed.contains(&arg.as_str()) {
+                return Err(format!("{arg} does not apply to this subcommand"));
+            }
+            if let Some(&known) = allowed.iter().find(|&&a| a == arg.as_str()) {
+                flags.seen.push(known);
+            }
+        }
+        match arg.as_str() {
+            "--machines" => flags.machines = parse_u32("--machines", next("--machines")?)?,
+            "--jobs-per-shard" => {
+                flags.options.jobs_per_shard =
+                    parse_u32("--jobs-per-shard", next("--jobs-per-shard")?)?
+            }
+            "--jobs-per-chunk" => {
+                flags.options.store = StoreOptions {
+                    jobs_per_chunk: parse_u32("--jobs-per-chunk", next("--jobs-per-chunk")?)?,
+                }
+            }
+            "--adopt" => flags.adopt = true,
+            "--vacuum" => flags.vacuum = true,
+            other => positional.push(other.to_owned()),
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn cmd_init(args: &[String]) -> Result<(), String> {
+    let (positional, _) = split_flags(args, &[])?;
+    let [dir] = positional.as_slice() else {
+        return Err("init takes exactly one directory".into());
+    };
+    let catalog = Catalog::init(dir).map_err(|e| e.to_string())?;
+    eprintln!(
+        "initialized empty catalog at {} (generation {})",
+        catalog.dir().display(),
+        catalog.generation()
+    );
+    Ok(())
+}
+
+fn cmd_ingest(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_flags(
+        args,
+        &[
+            "--machines",
+            "--jobs-per-shard",
+            "--jobs-per-chunk",
+            "--adopt",
+        ],
+    )?;
+    let [dir, traces @ ..] = positional.as_slice() else {
+        return Err("ingest takes a directory and at least one trace".into());
+    };
+    if traces.is_empty() {
+        return Err("ingest takes a directory and at least one trace".into());
+    }
+    if flags.adopt {
+        // Adopt copies stores in verbatim — the re-sharding knobs would
+        // silently do nothing, so reject the combination.
+        for sharding in ["--machines", "--jobs-per-shard", "--jobs-per-chunk"] {
+            if flags.seen.contains(&sharding) {
+                return Err(format!("{sharding} has no effect with --adopt (adopt copies stores verbatim as single shards)"));
+            }
+        }
+    }
+    let mut catalog = Catalog::open(dir).map_err(|e| e.to_string())?;
+    for path in traces {
+        let stats = if flags.adopt {
+            catalog.adopt_store(path).map_err(|e| e.to_string())?
+        } else {
+            catalog
+                .ingest_path(path, flags.machines, &flags.options)
+                .map_err(|e| e.to_string())?
+        };
+        eprintln!(
+            "ingested {path}: {} jobs into {} shard{} ({} bytes), generation {}",
+            stats.jobs,
+            stats.shards,
+            if stats.shards == 1 { "" } else { "s" },
+            stats.bytes,
+            catalog.generation()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (positional, _) = split_flags(args, &[])?;
+    let [dir] = positional.as_slice() else {
+        return Err("stats takes exactly one directory".into());
+    };
+    let catalog = Catalog::open(dir).map_err(|e| e.to_string())?;
+    let summary = catalog.summary();
+    println!(
+        "catalog generation {}: {} shard{}, {} jobs, workload {}, {} machines, length {}",
+        catalog.generation(),
+        catalog.shard_count(),
+        if catalog.shard_count() == 1 { "" } else { "s" },
+        summary.jobs,
+        summary.workload,
+        summary.machines,
+        summary.length,
+    );
+    for entry in catalog.shards() {
+        let (min, max) = entry.submit_window();
+        println!(
+            "  {}  v{}  gen {}  {} jobs  {} bytes  submit [{min}, {max}]  {}",
+            entry.file,
+            entry.store_version,
+            entry.created_gen,
+            entry.jobs,
+            entry.bytes,
+            entry.kind_label,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compact(args: &[String]) -> Result<(), String> {
+    let (positional, flags) =
+        split_flags(args, &["--jobs-per-shard", "--jobs-per-chunk", "--vacuum"])?;
+    let [dir] = positional.as_slice() else {
+        return Err("compact takes exactly one directory".into());
+    };
+    let mut catalog = Catalog::open(dir).map_err(|e| e.to_string())?;
+    let stats = catalog.compact(&flags.options).map_err(|e| e.to_string())?;
+    if stats.rewritten == 0 {
+        eprintln!("nothing to compact (generation {})", catalog.generation());
+    } else {
+        eprintln!(
+            "compacted {} shard{} into {} ({} jobs, {} v1 upgraded), generation {}",
+            stats.rewritten,
+            if stats.rewritten == 1 { "" } else { "s" },
+            stats.created,
+            stats.jobs,
+            stats.upgraded_v1,
+            catalog.generation()
+        );
+    }
+    if flags.vacuum {
+        let removed = catalog.vacuum().map_err(|e| e.to_string())?;
+        eprintln!("vacuum removed {removed} unreferenced file(s)");
+    }
+    Ok(())
+}
+
+/// Parse the query subcommand's arguments: one catalog directory plus
+/// the flag set shared with `swim-query` ([`swim_query::cli`]).
+fn parse_query_args(args: &[String]) -> Result<(String, cli::QueryFlags), String> {
+    let mut dir = String::new();
+    let mut flags = cli::QueryFlags::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut next = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        if flags.accept(arg, || next(arg))? {
+            continue;
+        }
+        if arg.starts_with('-') {
+            return Err(format!("unknown flag {arg}"));
+        }
+        if dir.is_empty() {
+            dir = arg.to_owned();
+        } else {
+            return Err(format!("unexpected argument {arg}"));
+        }
+    }
+    if dir.is_empty() {
+        return Err("query takes a catalog directory".into());
+    }
+    Ok((dir, flags))
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (dir, flags) = parse_query_args(args)?;
+    let query = flags.build_query()?;
+    let catalog = Catalog::open(&dir).map_err(|e| e.to_string())?;
+    let result = if flags.serial {
+        catalog.execute_serial(&query)
+    } else {
+        catalog.execute(&query)
+    };
+    let out = result.map_err(|e| e.to_string())?;
+    let title = format!("swim-catalog: {dir}");
+    print!("{}", cli::render_for(&out.output, flags.format, &title));
+    eprintln!(
+        "{} (catalog generation {}, {} jobs)",
+        out.stats_line(),
+        catalog.generation(),
+        catalog.job_count()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return fail("a subcommand is required");
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "init" => cmd_init(rest),
+        "ingest" => cmd_ingest(rest),
+        "stats" => cmd_stats(rest),
+        "compact" => cmd_compact(rest),
+        "query" => cmd_query(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => return fail(format!("unknown subcommand {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => fail(msg),
+    }
+}

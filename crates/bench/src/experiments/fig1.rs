@@ -25,7 +25,7 @@ const STAGES: [Col; 3] = [Col::Input, Col::Shuffle, Col::Output];
 /// decoded. The percentile aggregate uses the same nearest-rank rule as
 /// [`swim_core::stats::Ecdf::quantile`], so this is byte-for-byte the
 /// published table (a test pins the equivalence). Returned in
-/// [`STAGES`] order.
+/// input, shuffle, output order (the `STAGES` constant).
 pub fn store_quantiles(trace: &Trace) -> [Vec<f64>; 3] {
     let store = Store::from_vec(store_to_vec(trace, &StoreOptions::default()))
         .expect("freshly encoded store reopens");

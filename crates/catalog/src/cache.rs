@@ -1,0 +1,211 @@
+//! LRU cache of decoded per-shard numeric columns.
+//!
+//! Decoding a shard's chunks (delta+varint → ten `Vec<u64>` columns) is
+//! the dominant cost of a federated scan once zone maps have pruned the
+//! I/O, so the catalog keeps the most recently used shards' decoded
+//! [`NumericColumns`] in memory. Entries are keyed by `(file,
+//! created_gen)`: shard files are immutable once renamed into place and
+//! compaction creates new files under a new generation, so a stale entry
+//! can never be served — it simply stops being looked up and ages out.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use swim_store::format::columns::NumericColumns;
+
+/// Counters and sizing of the decoded-column cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory (no decode).
+    pub hits: u64,
+    /// Full-shard decodes that went to disk (and were then cached).
+    pub misses: u64,
+    /// Shards currently cached.
+    pub entries: usize,
+    /// Maximum number of cached shards.
+    pub capacity: usize,
+}
+
+/// Cache key: shard file name + the generation that created the file.
+type Key = (String, u64);
+
+struct Slot {
+    columns: Arc<Vec<NumericColumns>>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<Key, Slot>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl Inner {
+    fn evict_over_capacity(&mut self) {
+        while self.map.len() > self.capacity {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(key, _)| key.clone())
+                .expect("map is over capacity, hence non-empty");
+            self.map.remove(&oldest);
+        }
+    }
+}
+
+/// The per-catalog cache. Interior-mutable so immutable query paths can
+/// share it across worker threads.
+pub(crate) struct ColumnCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Default capacity: shards' decoded columns cost ~80 bytes per job, so
+/// at the default shard size (§ `DEFAULT_JOBS_PER_SHARD`) this bounds the
+/// cache around a gigabyte.
+pub(crate) const DEFAULT_CACHE_SHARDS: usize = 64;
+
+impl ColumnCache {
+    pub(crate) fn new(capacity: usize) -> ColumnCache {
+        ColumnCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                capacity,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a shard's decoded columns; counts a hit when present.
+    pub(crate) fn lookup(&self, file: &str, created_gen: u64) -> Option<Arc<Vec<NumericColumns>>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let slot = inner.map.get_mut(&(file.to_owned(), created_gen))?;
+        slot.last_used = tick;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(slot.columns.clone())
+    }
+
+    /// Insert a freshly decoded shard (counted as a miss), evicting the
+    /// least recently used entry if the cache is over capacity.
+    pub(crate) fn insert(&self, file: &str, created_gen: u64, columns: Arc<Vec<NumericColumns>>) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if inner.capacity == 0 {
+            return;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            (file.to_owned(), created_gen),
+            Slot {
+                columns,
+                last_used: tick,
+            },
+        );
+        inner.evict_over_capacity();
+    }
+
+    /// Drop every entry (compaction rewrote the manifest).
+    pub(crate) fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    pub(crate) fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.lock();
+        inner.capacity = capacity;
+        inner.evict_over_capacity();
+    }
+
+    /// Current capacity (cheap: one lock, no counter reads).
+    pub(crate) fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            capacity: inner.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols(n: u64) -> Arc<Vec<NumericColumns>> {
+        Arc::new(vec![NumericColumns {
+            ids: vec![n],
+            submits: vec![n],
+            durations: vec![1],
+            inputs: vec![0],
+            shuffles: vec![0],
+            outputs: vec![0],
+            map_times: vec![1],
+            reduce_times: vec![0],
+            map_tasks: vec![1],
+            reduce_tasks: vec![0],
+        }])
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ColumnCache::new(2);
+        cache.insert("a", 1, cols(1));
+        cache.insert("b", 1, cols(2));
+        assert!(cache.lookup("a", 1).is_some()); // touch a: b is now LRU
+        cache.insert("c", 1, cols(3));
+        assert!(cache.lookup("b", 1).is_none());
+        assert!(cache.lookup("a", 1).is_some());
+        assert!(cache.lookup("c", 1).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn generation_is_part_of_the_key() {
+        let cache = ColumnCache::new(4);
+        cache.insert("a", 1, cols(1));
+        assert!(cache.lookup("a", 2).is_none());
+        assert!(cache.lookup("a", 1).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ColumnCache::new(0);
+        cache.insert("a", 1, cols(1));
+        assert!(cache.lookup("a", 1).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_down() {
+        let cache = ColumnCache::new(4);
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            cache.insert(name, 1, cols(i as u64));
+        }
+        cache.set_capacity(1);
+        assert_eq!(cache.stats().entries, 1);
+        assert!(cache.lookup("d", 1).is_some(), "most recent survives");
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = ColumnCache::new(4);
+        cache.insert("a", 1, cols(1));
+        cache.clear();
+        assert!(cache.lookup("a", 1).is_none());
+    }
+}

@@ -1,0 +1,859 @@
+//! The [`Catalog`]: a directory of immutable `.swim` shards behind one
+//! versioned manifest, with atomic ingest and compaction.
+//!
+//! ## Atomicity and generations
+//!
+//! Every mutation follows the same discipline:
+//!
+//! 1. new shard files are written to a per-process temp name, fsynced,
+//!    and published with **no-clobber** link semantics (shard files are
+//!    immutable once published — appends never touch an existing
+//!    shard);
+//! 2. the `MANIFEST` is rewritten **last**, also via fsynced temp +
+//!    rename (plus a directory fsync), with the generation bumped.
+//!
+//! A reader that opened the catalog before a mutation keeps a consistent
+//! view: its manifest still names the old shard files, which are never
+//! modified or deleted by ingest or [`Catalog::compact`] (only
+//! [`Catalog::vacuum`] reclaims unreferenced files, and is meant to run
+//! when no older readers remain). A crash mid-mutation leaves orphan
+//! shard files and `.tmp` litter that the next vacuum removes; the
+//! manifest itself is never torn or lost to a power cut.
+//!
+//! Mutation is **single-writer, enforced loudly**: the no-clobber
+//! publish plus a re-check of the on-disk generation immediately before
+//! the manifest rename turn a concurrent-mutator race into a typed
+//! "concurrent mutation" error instead of silent corruption.
+
+use crate::cache::{ColumnCache, DEFAULT_CACHE_SHARDS};
+use crate::manifest::{Manifest, ShardEntry, MANIFEST_FILE};
+use crate::{CacheStats, CatalogError};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use swim_store::format::columns::NumericColumns;
+use swim_store::{write_store_path, Store, StoreOptions, ZoneMap};
+use swim_trace::trace::WorkloadKind;
+use swim_trace::{DataSize, Dur, Job, Timestamp, Trace, TraceSummary};
+
+/// Default shard granularity: 2^18 jobs. With the store's default 4096
+/// jobs per chunk that is 64 chunks per shard — small enough that a
+/// shard decodes in tens of milliseconds, large enough that a 4M-job
+/// dataset stays at 16 shards.
+pub const DEFAULT_JOBS_PER_SHARD: u32 = 1 << 18;
+
+/// Largest accepted `jobs_per_shard` (requests above are capped).
+pub const MAX_JOBS_PER_SHARD: u32 = 1 << 24;
+
+/// Tuning knobs for ingest and compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogOptions {
+    /// Maximum jobs per shard; larger traces split into several shards.
+    /// Zero is rejected; values above [`MAX_JOBS_PER_SHARD`] are capped.
+    pub jobs_per_shard: u32,
+    /// Chunking options for the shard stores themselves.
+    pub store: StoreOptions,
+}
+
+impl Default for CatalogOptions {
+    fn default() -> Self {
+        CatalogOptions {
+            jobs_per_shard: DEFAULT_JOBS_PER_SHARD,
+            store: StoreOptions::default(),
+        }
+    }
+}
+
+impl CatalogOptions {
+    /// Validate, returning the effective shard size.
+    pub fn validate(&self) -> Result<u32, CatalogError> {
+        if self.jobs_per_shard == 0 {
+            return Err(CatalogError::Invalid(
+                "jobs_per_shard must be at least 1".into(),
+            ));
+        }
+        self.store
+            .validate()
+            .map_err(|e| CatalogError::Invalid(e.to_string()))?;
+        Ok(self.jobs_per_shard.min(MAX_JOBS_PER_SHARD))
+    }
+}
+
+/// What one ingest added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestStats {
+    /// Shards written.
+    pub shards: usize,
+    /// Jobs ingested.
+    pub jobs: u64,
+    /// Bytes written across the new shard files.
+    pub bytes: u64,
+}
+
+/// What one compaction did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactStats {
+    /// Shards rewritten (merged away or upgraded).
+    pub rewritten: usize,
+    /// Replacement shards created.
+    pub created: usize,
+    /// Rewritten shards that were format v1 (now v2).
+    pub upgraded_v1: usize,
+    /// Jobs moved through the rewrite.
+    pub jobs: u64,
+}
+
+/// An opened sharded trace dataset.
+pub struct Catalog {
+    dir: PathBuf,
+    manifest: Manifest,
+    cache: ColumnCache,
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("dir", &self.dir)
+            .field("generation", &self.manifest.generation)
+            .field("shards", &self.manifest.shards.len())
+            .finish()
+    }
+}
+
+/// Map a workload label back to its kind (inverse of
+/// `WorkloadKind::label`, exact for the seven built-in workloads and for
+/// custom labels).
+fn kind_from_label(label: &str) -> WorkloadKind {
+    match label {
+        "CC-a" => WorkloadKind::CcA,
+        "CC-b" => WorkloadKind::CcB,
+        "CC-c" => WorkloadKind::CcC,
+        "CC-d" => WorkloadKind::CcD,
+        "CC-e" => WorkloadKind::CcE,
+        "FB-2009" => WorkloadKind::Fb2009,
+        "FB-2010" => WorkloadKind::Fb2010,
+        other => WorkloadKind::Custom(other.to_owned()),
+    }
+}
+
+/// Elementwise union of zone maps (the shard-level map is the union of
+/// the shard's chunk maps).
+fn zone_union(maps: &[ZoneMap]) -> Option<ZoneMap> {
+    let mut iter = maps.iter();
+    let first = *iter.next()?;
+    Some(iter.fold(first, |mut acc, z| {
+        for c in 0..acc.min.len() {
+            acc.min[c] = acc.min[c].min(z.min[c]);
+            acc.max[c] = acc.max[c].max(z.max[c]);
+        }
+        acc
+    }))
+}
+
+impl Catalog {
+    /// Create a new, empty catalog in `dir` (created if missing). Fails
+    /// with [`CatalogError::AlreadyInitialized`] if a manifest exists.
+    pub fn init(dir: impl AsRef<Path>) -> Result<Catalog, CatalogError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| CatalogError::io(&dir, e))?;
+        if dir.join(MANIFEST_FILE).exists() {
+            return Err(CatalogError::AlreadyInitialized(dir));
+        }
+        let catalog = Catalog {
+            dir,
+            manifest: Manifest::default(),
+            cache: ColumnCache::new(DEFAULT_CACHE_SHARDS),
+        };
+        catalog.write_manifest(&catalog.manifest)?;
+        Ok(catalog)
+    }
+
+    /// Open an existing catalog directory.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Catalog, CatalogError> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let text = match std::fs::read_to_string(&manifest_path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(CatalogError::NotACatalog(dir))
+            }
+            Err(e) => return Err(CatalogError::io(&manifest_path, e)),
+        };
+        let manifest = Manifest::decode(&text, &manifest_path)?;
+        Ok(Catalog {
+            dir,
+            manifest,
+            cache: ColumnCache::new(DEFAULT_CACHE_SHARDS),
+        })
+    }
+
+    /// The catalog directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current dataset generation (bumped by every ingest and compact).
+    pub fn generation(&self) -> u64 {
+        self.manifest.generation
+    }
+
+    /// The shard index, in ingest order.
+    pub fn shards(&self) -> &[ShardEntry] {
+        &self.manifest.shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.manifest.shards.len()
+    }
+
+    /// Total jobs across all shards (O(manifest)).
+    pub fn job_count(&self) -> u64 {
+        self.manifest.shards.iter().map(|s| s.jobs).sum()
+    }
+
+    /// Dataset-level zone map: the union of every shard's zone map
+    /// (`None` for an empty catalog).
+    pub fn dataset_zone(&self) -> Option<ZoneMap> {
+        let zones: Vec<ZoneMap> = self.manifest.shards.iter().map(|s| s.zone).collect();
+        zone_union(&zones)
+    }
+
+    /// The Table-1 row for the whole dataset, computed from the manifest
+    /// in O(shards) without opening any shard. The workload label is the
+    /// shards' common label, or `mixed(N)` when N kinds are present.
+    pub fn summary(&self) -> TraceSummary {
+        let shards = &self.manifest.shards;
+        let mut labels: Vec<&str> = shards.iter().map(|s| s.kind_label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        let workload = match labels.as_slice() {
+            [] => "empty catalog".to_owned(),
+            [one] => (*one).to_owned(),
+            many => format!("mixed({})", many.len()),
+        };
+        let jobs: u64 = shards.iter().map(|s| s.jobs).sum();
+        let bytes_moved = shards
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.bytes_moved));
+        let length = if jobs == 0 {
+            Dur::ZERO
+        } else {
+            let min = shards
+                .iter()
+                .map(|s| s.submit_window().0)
+                .min()
+                .unwrap_or(0);
+            let max = shards
+                .iter()
+                .map(|s| s.submit_window().1)
+                .max()
+                .unwrap_or(0);
+            Dur::from_secs(max - min)
+        };
+        TraceSummary {
+            workload,
+            machines: shards.iter().map(|s| s.machines).max().unwrap_or(0),
+            length,
+            jobs: jobs as usize,
+            bytes_moved: DataSize::from_bytes(bytes_moved),
+        }
+    }
+
+    /// Open one shard's store (reads header + footer only).
+    pub fn open_shard(&self, idx: usize) -> Result<Store, CatalogError> {
+        let entry = &self.manifest.shards[idx];
+        Store::open(self.dir.join(&entry.file))
+            .map_err(|e| CatalogError::shard(entry.file.clone(), e))
+    }
+
+    /// A shard's decoded columns if they are already cached (counts a
+    /// cache hit). Never touches the disk.
+    pub fn cached_columns(&self, idx: usize) -> Option<Arc<Vec<NumericColumns>>> {
+        let entry = &self.manifest.shards[idx];
+        self.cache.lookup(&entry.file, entry.created_gen)
+    }
+
+    /// Decode every chunk of a shard and cache the result (counts a
+    /// cache miss). `store` must be the opened shard at `idx`.
+    pub fn load_columns(
+        &self,
+        idx: usize,
+        store: &Store,
+    ) -> Result<Arc<Vec<NumericColumns>>, CatalogError> {
+        let entry = &self.manifest.shards[idx];
+        let all: Vec<usize> = (0..store.chunk_count()).collect();
+        let chunks = store
+            .fold_columns(
+                &all,
+                Vec::with_capacity(all.len()),
+                |mut acc, _idx, cols| {
+                    acc.push(cols.clone());
+                    acc
+                },
+            )
+            .map_err(|e| CatalogError::shard(entry.file.clone(), e))?;
+        let columns = Arc::new(chunks);
+        self.cache
+            .insert(&entry.file, entry.created_gen, columns.clone());
+        Ok(columns)
+    }
+
+    /// Cache counters and sizing.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Bound the decoded-column cache to `shards` entries (0 disables
+    /// caching). Shrinking evicts immediately.
+    pub fn set_cache_capacity(&self, shards: usize) {
+        self.cache.set_capacity(shards);
+    }
+
+    /// Current decoded-column cache capacity in shards (cheap; the query
+    /// hot path uses this to skip the cache entirely when it is
+    /// disabled).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    // ------------------------------------------------------------------
+    // Ingest
+    // ------------------------------------------------------------------
+
+    /// Ingest an in-memory trace, splitting it into shards of at most
+    /// `jobs_per_shard` jobs. The manifest is rewritten last, so readers
+    /// see the whole trace or none of it. An empty trace is a no-op.
+    pub fn ingest_trace(
+        &mut self,
+        trace: &Trace,
+        options: &CatalogOptions,
+    ) -> Result<IngestStats, CatalogError> {
+        let per_shard = options.validate()? as usize;
+        if trace.is_empty() {
+            return Ok(IngestStats::default());
+        }
+        let gen = self.manifest.generation + 1;
+        let mut entries = Vec::new();
+        for (seq, jobs) in trace.jobs().chunks(per_shard).enumerate() {
+            entries.push(self.write_shard_file(
+                gen,
+                seq,
+                trace.kind.clone(),
+                trace.machines,
+                jobs.to_vec(),
+                options,
+            )?);
+        }
+        self.commit_new_shards(entries)
+    }
+
+    /// Ingest a trace file by extension: `.csv` (labelled by file stem,
+    /// sized by `csv_machines`), `.swim`/`.store` (streamed chunk by
+    /// chunk, so arbitrarily large stores ingest at bounded memory), and
+    /// anything else as JSON-lines.
+    pub fn ingest_path(
+        &mut self,
+        path: impl AsRef<Path>,
+        csv_machines: u32,
+        options: &CatalogOptions,
+    ) -> Result<IngestStats, CatalogError> {
+        let path = path.as_ref();
+        let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+        match ext {
+            "swim" | "store" => self.ingest_store_streaming(path, options),
+            "csv" => {
+                let stem = path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| path.display().to_string());
+                let file = std::fs::File::open(path).map_err(|e| CatalogError::io(path, e))?;
+                let trace =
+                    swim_trace::io::read_csv(WorkloadKind::Custom(stem), csv_machines, file)
+                        .map_err(|e| CatalogError::Parse {
+                            path: path.to_path_buf(),
+                            message: e.to_string(),
+                        })?;
+                self.ingest_trace(&trace, options)
+            }
+            _ => {
+                let file = std::fs::File::open(path).map_err(|e| CatalogError::io(path, e))?;
+                let trace = swim_trace::io::read_jsonl(file).map_err(|e| CatalogError::Parse {
+                    path: path.to_path_buf(),
+                    message: e.to_string(),
+                })?;
+                self.ingest_trace(&trace, options)
+            }
+        }
+    }
+
+    /// Stream a `.swim` store into shards without materializing it.
+    fn ingest_store_streaming(
+        &mut self,
+        path: &Path,
+        options: &CatalogOptions,
+    ) -> Result<IngestStats, CatalogError> {
+        let per_shard = options.validate()? as usize;
+        let shard_err = |e| CatalogError::Parse {
+            path: path.to_path_buf(),
+            message: format!("{e}"),
+        };
+        let store = Store::open(path).map_err(shard_err)?;
+        let (kind, machines) = (store.kind().clone(), store.machines());
+        let gen = self.manifest.generation + 1;
+        let mut entries = Vec::new();
+        let mut buffer: Vec<Job> = Vec::new();
+        let mut seq = 0usize;
+        for chunk in store.scan().map_err(shard_err)? {
+            buffer.extend(chunk.map_err(shard_err)?);
+            while buffer.len() >= per_shard {
+                let rest = buffer.split_off(per_shard);
+                let full = std::mem::replace(&mut buffer, rest);
+                entries.push(self.write_shard_file(
+                    gen,
+                    seq,
+                    kind.clone(),
+                    machines,
+                    full,
+                    options,
+                )?);
+                seq += 1;
+            }
+        }
+        if !buffer.is_empty() {
+            entries.push(self.write_shard_file(gen, seq, kind, machines, buffer, options)?);
+        }
+        self.commit_new_shards(entries)
+    }
+
+    /// Adopt an existing `.swim` file verbatim: the file is copied into
+    /// the catalog as one shard, keeping its format version (v1 files
+    /// stay v1 until [`Catalog::compact`] upgrades them). Empty stores
+    /// are rejected.
+    pub fn adopt_store(&mut self, path: impl AsRef<Path>) -> Result<IngestStats, CatalogError> {
+        let path = path.as_ref();
+        let store = Store::open(path).map_err(|e| CatalogError::Parse {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        if store.job_count() == 0 {
+            return Err(CatalogError::Invalid(format!(
+                "refusing to adopt empty store {}",
+                path.display()
+            )));
+        }
+        let gen = self.manifest.generation + 1;
+        let file = shard_file_name(gen, 0);
+        let tmp = self.tmp_path(&file);
+        let final_path = self.dir.join(&file);
+        std::fs::copy(path, &tmp).map_err(|e| CatalogError::io(&tmp, e))?;
+        sync_file(&tmp)?;
+        publish_no_clobber(&tmp, &final_path)?;
+        let bytes = std::fs::metadata(&final_path)
+            .map_err(|e| CatalogError::io(&final_path, e))?
+            .len();
+        let summary = store.stored_summary();
+        let entry = ShardEntry {
+            file,
+            store_version: store.format_version(),
+            created_gen: gen,
+            jobs: store.job_count(),
+            bytes,
+            machines: store.machines(),
+            bytes_moved: summary.bytes_moved.bytes(),
+            task_time: summary.task_time.secs(),
+            zone: zone_union(store.zone_maps()).expect("non-empty store has chunks"),
+            kind_label: store.kind().label().to_owned(),
+        };
+        self.commit_new_shards(vec![entry])
+    }
+
+    /// Write one shard file (temp + rename) and return its index entry.
+    fn write_shard_file(
+        &self,
+        gen: u64,
+        seq: usize,
+        kind: WorkloadKind,
+        machines: u32,
+        jobs: Vec<Job>,
+        options: &CatalogOptions,
+    ) -> Result<ShardEntry, CatalogError> {
+        debug_assert!(!jobs.is_empty(), "shards are never empty");
+        let file = shard_file_name(gen, seq);
+        let tmp = self.tmp_path(&file);
+        let final_path = self.dir.join(&file);
+        let kind_label = kind.label().to_owned();
+        let trace = Trace::new_unchecked(kind, machines, jobs);
+        let stats = write_store_path(&trace, &tmp, &options.store)
+            .map_err(|e| CatalogError::shard(file.clone(), e))?;
+        sync_file(&tmp)?;
+        publish_no_clobber(&tmp, &final_path)?;
+        let (bytes_moved, task_time) = trace.jobs().iter().fold((0u64, 0u64), |(io, t), j| {
+            (
+                io.saturating_add(j.total_io().bytes()),
+                t.saturating_add(j.total_task_time().secs()),
+            )
+        });
+        Ok(ShardEntry {
+            file,
+            store_version: swim_store::format::VERSION,
+            created_gen: gen,
+            jobs: stats.jobs,
+            bytes: stats.bytes_written,
+            machines: trace.machines,
+            bytes_moved,
+            task_time,
+            zone: ZoneMap::of_jobs(trace.jobs()),
+            kind_label,
+        })
+    }
+
+    /// Append freshly written shards and atomically publish the new
+    /// manifest generation.
+    fn commit_new_shards(&mut self, entries: Vec<ShardEntry>) -> Result<IngestStats, CatalogError> {
+        if entries.is_empty() {
+            return Ok(IngestStats::default());
+        }
+        let stats = IngestStats {
+            shards: entries.len(),
+            jobs: entries.iter().map(|e| e.jobs).sum(),
+            bytes: entries.iter().map(|e| e.bytes).sum(),
+        };
+        let mut next = self.manifest.clone();
+        next.generation += 1;
+        next.shards.extend(entries);
+        // The shard renames must be durable before a manifest that
+        // references them is published.
+        sync_dir(&self.dir)?;
+        self.check_not_raced()?;
+        self.write_manifest(&next)?;
+        self.manifest = next;
+        Ok(stats)
+    }
+
+    /// Optimistic concurrency check before publishing a new manifest:
+    /// if another process advanced the on-disk generation since this
+    /// handle loaded it, publishing would silently drop that mutation —
+    /// fail loudly instead. (Shard-file collisions between racers are
+    /// already prevented by [`publish_no_clobber`].)
+    fn check_not_raced(&self) -> Result<(), CatalogError> {
+        let manifest_path = self.dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| CatalogError::io(&manifest_path, e))?;
+        let on_disk = Manifest::decode(&text, &manifest_path)?;
+        if on_disk.generation != self.manifest.generation {
+            return Err(CatalogError::Invalid(format!(
+                "concurrent mutation detected: manifest generation moved from {} to {} \
+                 while this handle was open (re-open the catalog and retry)",
+                self.manifest.generation, on_disk.generation
+            )));
+        }
+        Ok(())
+    }
+
+    /// Per-process temp path for a file about to be published (unique so
+    /// two racing processes never write the same temp file).
+    fn tmp_path(&self, file: &str) -> PathBuf {
+        self.dir.join(format!("{file}.{}.tmp", std::process::id()))
+    }
+
+    fn write_manifest(&self, manifest: &Manifest) -> Result<(), CatalogError> {
+        let tmp = self.tmp_path(MANIFEST_FILE);
+        let final_path = self.dir.join(MANIFEST_FILE);
+        std::fs::write(&tmp, manifest.encode()).map_err(|e| CatalogError::io(&tmp, e))?;
+        // Durability, not just atomicity: the temp file's data must be on
+        // disk before the rename is journaled, and the rename itself
+        // before we report success — otherwise a power cut can leave a
+        // zero-length MANIFEST behind an apparently successful ingest.
+        sync_file(&tmp)?;
+        std::fs::rename(&tmp, &final_path).map_err(|e| CatalogError::io(&final_path, e))?;
+        sync_dir(&self.dir)
+    }
+
+    // ------------------------------------------------------------------
+    // Compaction
+    // ------------------------------------------------------------------
+
+    /// Merge undersized shards (fewer than half of `jobs_per_shard`
+    /// jobs) with their neighbours and rewrite any format-v1 shards to
+    /// the current store version, under a new manifest generation.
+    ///
+    /// Old shard files are left on disk so readers that opened an
+    /// earlier generation keep working; run [`Catalog::vacuum`] once no
+    /// such readers remain. A catalog with nothing to rewrite is left
+    /// untouched (same generation).
+    pub fn compact(&mut self, options: &CatalogOptions) -> Result<CompactStats, CatalogError> {
+        let per_shard = options.validate()? as usize;
+        let threshold = (per_shard / 2).max(1) as u64;
+        let needs_rewrite =
+            |e: &ShardEntry| e.store_version < swim_store::format::VERSION || e.jobs < threshold;
+        if !self.manifest.shards.iter().any(needs_rewrite) {
+            return Ok(CompactStats::default());
+        }
+
+        // Group rewrite candidates greedily (in manifest order) into
+        // bins of at most `jobs_per_shard` jobs.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        let mut current_jobs = 0u64;
+        for (idx, entry) in self.manifest.shards.iter().enumerate() {
+            if !needs_rewrite(entry) {
+                continue;
+            }
+            if !current.is_empty() && current_jobs + entry.jobs > per_shard as u64 {
+                groups.push(std::mem::take(&mut current));
+                current_jobs = 0;
+            }
+            current.push(idx);
+            current_jobs += entry.jobs;
+        }
+        if !current.is_empty() {
+            groups.push(current);
+        }
+        // Convergence: a singleton group whose shard is already at the
+        // current format gains nothing from a rewrite — it is undersized
+        // but has no merge partner. Skipping it makes repeated compacts
+        // of the same catalog a no-op instead of generation churn.
+        groups.retain(|group| {
+            group.len() > 1
+                || self.manifest.shards[group[0]].store_version < swim_store::format::VERSION
+        });
+        if groups.is_empty() {
+            return Ok(CompactStats::default());
+        }
+
+        let gen = self.manifest.generation + 1;
+        let mut stats = CompactStats::default();
+        let mut new_entries = Vec::new();
+        let mut rewritten = vec![false; self.manifest.shards.len()];
+        let mut rewritten_count = 0usize;
+        let mut seq = 0usize;
+        for group in &groups {
+            let mut jobs: Vec<Job> = Vec::new();
+            let mut kinds: Vec<WorkloadKind> = Vec::new();
+            let mut machines = 0u32;
+            for &idx in group {
+                let entry = &self.manifest.shards[idx];
+                if entry.store_version < swim_store::format::VERSION {
+                    stats.upgraded_v1 += 1;
+                }
+                let store = self.open_shard(idx)?;
+                kinds.push(store.kind().clone());
+                machines = machines.max(store.machines());
+                for chunk in store
+                    .scan()
+                    .map_err(|e| CatalogError::shard(entry.file.clone(), e))?
+                {
+                    jobs.extend(chunk.map_err(|e| CatalogError::shard(entry.file.clone(), e))?);
+                }
+            }
+            kinds.dedup();
+            let kind = match kinds.as_slice() {
+                [one] => one.clone(),
+                _ => WorkloadKind::Custom("mixed".into()),
+            };
+            stats.jobs += jobs.len() as u64;
+            // Re-sort so merged shards regain tight, submit-ordered
+            // chunk windows, then split if a merge overflowed the cap.
+            jobs.sort_by_key(|j| (j.submit, j.id));
+            let mut rest = jobs;
+            while !rest.is_empty() {
+                let tail = rest.split_off(rest.len().min(per_shard));
+                let shard_jobs = std::mem::replace(&mut rest, tail);
+                new_entries.push(self.write_shard_file(
+                    gen,
+                    seq,
+                    kind.clone(),
+                    machines,
+                    shard_jobs,
+                    options,
+                )?);
+                seq += 1;
+            }
+            for &idx in group {
+                rewritten[idx] = true;
+            }
+            rewritten_count += group.len();
+        }
+        stats.rewritten = rewritten_count;
+        stats.created = new_entries.len();
+
+        // Surviving entries keep their manifest order; replacements are
+        // appended. Queries are order-insensitive and materialization
+        // re-sorts by submit, so order is presentation only.
+        let mut next = Manifest {
+            generation: gen,
+            shards: Vec::with_capacity(
+                self.manifest.shards.len() - rewritten_count + new_entries.len(),
+            ),
+        };
+        for (idx, entry) in self.manifest.shards.iter().enumerate() {
+            if !rewritten[idx] {
+                next.shards.push(entry.clone());
+            }
+        }
+        next.shards.extend(new_entries);
+        sync_dir(&self.dir)?;
+        self.check_not_raced()?;
+        self.write_manifest(&next)?;
+        self.manifest = next;
+        self.cache.clear();
+        Ok(stats)
+    }
+
+    /// Remove shard files and temp litter not referenced by the current
+    /// manifest. Returns the number of files removed. Vacuum is a
+    /// mutation: it must not run while a reader of an older generation
+    /// is live (their shard files would vanish) or while another writer
+    /// is mid-commit (its not-yet-referenced shard would be reaped as an
+    /// orphan). The generation re-check below catches a writer that has
+    /// already published; an in-flight one cannot be detected, so the
+    /// single-writer rule applies to vacuum too.
+    pub fn vacuum(&self) -> Result<usize, CatalogError> {
+        self.check_not_raced()?;
+        let mut removed = 0usize;
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| CatalogError::io(&self.dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| CatalogError::io(&self.dir, e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let is_tmp = name.ends_with(".tmp");
+            let is_orphan_shard = name.starts_with("shard-")
+                && name.ends_with(".swim")
+                && !self.manifest.shards.iter().any(|s| s.file == name);
+            if is_tmp || is_orphan_shard {
+                std::fs::remove_file(entry.path())
+                    .map_err(|e| CatalogError::io(entry.path(), e))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    // ------------------------------------------------------------------
+    // Materialization
+    // ------------------------------------------------------------------
+
+    /// Rebuild the whole dataset as one trace, jobs sorted by
+    /// `(submit, id)`. The kind is the shards' common kind, or
+    /// `Custom("mixed")`.
+    pub fn read_trace(&self) -> Result<Trace, CatalogError> {
+        let mut labels: Vec<&str> = self
+            .manifest
+            .shards
+            .iter()
+            .map(|s| s.kind_label.as_str())
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        let kind = match labels.as_slice() {
+            [] => WorkloadKind::Custom("empty catalog".into()),
+            [one] => kind_from_label(one),
+            _ => WorkloadKind::Custom("mixed".into()),
+        };
+        let machines = self
+            .manifest
+            .shards
+            .iter()
+            .map(|s| s.machines)
+            .max()
+            .unwrap_or(0);
+        let mut jobs = Vec::with_capacity(self.job_count() as usize);
+        for idx in 0..self.manifest.shards.len() {
+            let entry = &self.manifest.shards[idx];
+            let store = self.open_shard(idx)?;
+            for chunk in store
+                .scan()
+                .map_err(|e| CatalogError::shard(entry.file.clone(), e))?
+            {
+                jobs.extend(chunk.map_err(|e| CatalogError::shard(entry.file.clone(), e))?);
+            }
+        }
+        Ok(Trace::new_unchecked(kind, machines, jobs))
+    }
+
+    /// Jobs submitted in the half-open range `[from, to)` across every
+    /// shard, sorted by `(submit, id)` — the same order a materialized
+    /// trace would yield. Shards whose submit window cannot overlap are
+    /// never opened.
+    pub fn jobs_in_range(&self, from: Timestamp, to: Timestamp) -> Result<Vec<Job>, CatalogError> {
+        let mut jobs = Vec::new();
+        for (idx, entry) in self.manifest.shards.iter().enumerate() {
+            let (min, max) = entry.submit_window();
+            if Timestamp::from_secs(max) < from || Timestamp::from_secs(min) >= to {
+                continue;
+            }
+            let store = self.open_shard(idx)?;
+            for chunk in store
+                .scan_range(from, to)
+                .map_err(|e| CatalogError::shard(entry.file.clone(), e))?
+            {
+                jobs.extend(chunk.map_err(|e| CatalogError::shard(entry.file.clone(), e))?);
+            }
+        }
+        jobs.sort_by_key(|j| (j.submit, j.id));
+        Ok(jobs)
+    }
+}
+
+/// Shard file name for a generation and a per-batch sequence number,
+/// plus a per-attempt uniqueness token (pid + counter). The token means
+/// a mutation that crashed after publishing its shard but before its
+/// manifest can never collide with — and therefore never block — a
+/// later attempt at the same generation; the orphan just waits for
+/// [`Catalog::vacuum`].
+fn shard_file_name(gen: u64, seq: usize) -> String {
+    static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    format!(
+        "shard-g{gen:06}-{seq:04}-{:08x}{n:04x}.swim",
+        std::process::id()
+    )
+}
+
+/// Publish a temp file under its final shard name without ever
+/// overwriting: `hard_link` fails with `AlreadyExists` if the target is
+/// present (shard files must stay immutable once published — the cache
+/// key and zone maps depend on it). With per-attempt unique names a
+/// collision should be impossible; this is the backstop that keeps it
+/// from ever being silent.
+fn publish_no_clobber(tmp: &Path, final_path: &Path) -> Result<(), CatalogError> {
+    let result = std::fs::hard_link(tmp, final_path);
+    let _ = std::fs::remove_file(tmp);
+    match result {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+            Err(CatalogError::Invalid(format!(
+                "shard {} already exists and shard files are immutable — \
+                 remove leftover files with vacuum (swim-catalog compact --vacuum) \
+                 and retry",
+                final_path.display()
+            )))
+        }
+        Err(e) => Err(CatalogError::io(final_path, e)),
+    }
+}
+
+/// Flush a just-written file's data to disk before it is renamed into
+/// place.
+fn sync_file(path: &Path) -> Result<(), CatalogError> {
+    std::fs::File::open(path)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| CatalogError::io(path, e))
+}
+
+/// Flush directory metadata (renames) to disk. Unix only: directory
+/// handles cannot be opened for fsync portably (Windows' CreateFile
+/// refuses plain directory opens), and rename durability there is the
+/// filesystem's business.
+fn sync_dir(dir: &Path) -> Result<(), CatalogError> {
+    #[cfg(unix)]
+    {
+        std::fs::File::open(dir)
+            .and_then(|f| f.sync_all())
+            .map_err(|e| CatalogError::io(dir, e))
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}

@@ -254,6 +254,62 @@ mod tests {
     }
 
     #[test]
+    fn merging_an_empty_state_is_the_identity_in_both_directions() {
+        // The federation edge case: a shard with zero matching rows
+        // contributes a fresh accumulator, which must not disturb a
+        // populated one — whichever side of the merge it lands on.
+        let aggs = [
+            Aggregate::Count,
+            Aggregate::Sum(Expr::col(Col::Input)),
+            Aggregate::Min(Expr::col(Col::Input)),
+            Aggregate::Max(Expr::col(Col::Input)),
+            Aggregate::Avg(Expr::col(Col::Input)),
+            Aggregate::Percentile(Expr::col(Col::Input), 0.9),
+        ];
+        for agg in &aggs {
+            let mut populated = agg.new_state();
+            for v in [3u64, 9, 1, 7] {
+                populated.update(v);
+            }
+            let expected = populated.clone().finalize(agg);
+
+            // populated ← empty
+            let mut left = populated.clone();
+            left.merge(agg.new_state());
+            assert_eq!(left.finalize(agg), expected, "{agg}: populated ← empty");
+
+            // empty ← populated
+            let mut right = agg.new_state();
+            right.merge(populated);
+            assert_eq!(right.finalize(agg), expected, "{agg}: empty ← populated");
+
+            // empty ← empty stays empty (Null / zero).
+            let mut both = agg.new_state();
+            both.merge(agg.new_state());
+            assert_eq!(
+                both.finalize(agg),
+                agg.new_state().finalize(agg),
+                "{agg}: empty ← empty"
+            );
+        }
+    }
+
+    #[test]
+    fn avg_and_percentile_of_no_samples_finalize_to_null() {
+        // The all-skipped-shard edge: a query whose every shard is
+        // pruned finalizes fresh states — Avg and Percentile must yield
+        // Null (never divide by zero or index an empty sample vector).
+        for agg in [
+            Aggregate::Avg(Expr::col(Col::Duration)),
+            Aggregate::Percentile(Expr::col(Col::Duration), 0.0),
+            Aggregate::Percentile(Expr::col(Col::Duration), 0.5),
+            Aggregate::Percentile(Expr::col(Col::Duration), 1.0),
+        ] {
+            assert_eq!(agg.new_state().finalize(&agg), AggValue::Null, "{agg}");
+        }
+    }
+
+    #[test]
     fn empty_group_finalizes_to_null_or_zero() {
         for (agg, expect) in [
             (Aggregate::Count, AggValue::Int(0)),

@@ -1,5 +1,7 @@
 //! `swim-query`: filter/group/aggregate queries over a `.swim` columnar
-//! store, with zone-map chunk skipping.
+//! store — or, with `--catalog`, federated over every shard of a
+//! `swim-catalog` dataset directory — with zone-map pruning (per-chunk
+//! for stores; shard-level *then* per-chunk for catalogs).
 //!
 //! ```text
 //! swim-query --trace x.swim --select "count,sum(total_io)" \
@@ -7,37 +9,29 @@
 //!            [--group-by "submit/3600"] \
 //!            [--order-by N] [--desc] [--limit N] \
 //!            [--format table|md|json] [--serial]
+//! swim-query --catalog dataset.d --select count [--where …] […]
 //! ```
 //!
-//! Results go to stdout; the scan/pruning summary goes to stderr (so
-//! `--format json` output stays machine-parseable).
+//! The query flag set is shared with `swim-catalog query`
+//! ([`swim_query::cli`]). Results go to stdout; the scan/pruning summary
+//! goes to stderr (so `--format json` output stays machine-parseable).
 
 use std::process::ExitCode;
-use swim_query::{execute, execute_serial, parse, render, Query};
+use swim_catalog::Catalog;
+use swim_query::{cli, execute, execute_serial, CatalogQuery};
 use swim_store::Store;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Format {
-    Table,
-    Markdown,
-    Json,
-}
 
 struct Args {
     trace: String,
-    select: String,
-    where_: String,
-    group_by: String,
-    order_by: Option<usize>,
-    descending: bool,
-    limit: Option<usize>,
-    format: Format,
-    serial: bool,
+    catalog: String,
+    flags: cli::QueryFlags,
 }
 
-const USAGE: &str = "usage: swim-query --trace TRACE.swim --select AGGS \
+const USAGE: &str = "usage: swim-query (--trace TRACE.swim | --catalog DIR) --select AGGS \
  [--where PRED] [--group-by EXPRS] [--order-by N] [--desc] [--limit N] \
  [--format table|md|json] [--serial]\n\
+ --catalog runs the query federated over every shard of a swim-catalog \
+ directory (shard-level zone pruning, then per-chunk)\n\
  columns: id submit duration input shuffle output map_time reduce_time \
  map_tasks reduce_tasks (derived: total_io total_task_time total_tasks)\n\
  aggregates: count sum min max avg p0..p100, e.g. \
@@ -51,14 +45,8 @@ const USAGE: &str = "usage: swim-query --trace TRACE.swim --select AGGS \
 fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args {
         trace: String::new(),
-        select: "count".into(),
-        where_: String::new(),
-        group_by: String::new(),
-        order_by: None,
-        descending: false,
-        limit: None,
-        format: Format::Table,
-        serial: false,
+        catalog: String::new(),
+        flags: cli::QueryFlags::new(),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -68,64 +56,32 @@ fn parse_args() -> Result<Option<Args>, String> {
         };
         match arg.as_str() {
             "--trace" => args.trace = next("--trace")?,
-            "--select" => args.select = next("--select")?,
-            "--where" => args.where_ = next("--where")?,
-            "--group-by" => args.group_by = next("--group-by")?,
-            "--order-by" => {
-                let n: usize = next("--order-by")?
-                    .parse()
-                    .map_err(|_| "--order-by requires a 1-based column number".to_owned())?;
-                if n == 0 {
-                    return Err("--order-by columns are 1-based".into());
-                }
-                args.order_by = Some(n - 1);
-            }
-            "--desc" => args.descending = true,
-            "--limit" => {
-                args.limit = Some(
-                    next("--limit")?
-                        .parse()
-                        .map_err(|_| "--limit requires an integer".to_owned())?,
-                )
-            }
-            "--format" => {
-                args.format = match next("--format")?.as_str() {
-                    "table" | "text" => Format::Table,
-                    "md" | "markdown" => Format::Markdown,
-                    "json" => Format::Json,
-                    other => {
-                        return Err(format!("unknown format {other} (expected table|md|json)"))
-                    }
-                }
-            }
-            "--serial" => args.serial = true,
+            "--catalog" => args.catalog = next("--catalog")?,
             "--help" | "-h" => return Ok(None),
-            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
-            other if args.trace.is_empty() => args.trace = other.to_owned(),
-            other => return Err(format!("unexpected argument {other}")),
+            flag => {
+                if args.flags.accept(flag, || next(flag))? {
+                    continue;
+                }
+                if flag.starts_with('-') {
+                    return Err(format!("unknown flag {flag}"));
+                }
+                if args.trace.is_empty() {
+                    args.trace = flag.to_owned();
+                } else {
+                    return Err(format!("unexpected argument {flag}"));
+                }
+            }
         }
     }
-    if args.trace.is_empty() {
-        return Err("a store file is required (swim-query --trace x.swim)".into());
+    if args.trace.is_empty() && args.catalog.is_empty() {
+        return Err("a store file or catalog directory is required \
+             (swim-query --trace x.swim | --catalog dir)"
+            .into());
+    }
+    if !args.trace.is_empty() && !args.catalog.is_empty() {
+        return Err("--trace and --catalog are mutually exclusive".into());
     }
     Ok(Some(args))
-}
-
-fn build_query(args: &Args) -> Result<Query, String> {
-    let mut query = Query::new().filter(parse::parse_predicate(&args.where_)?);
-    for key in parse::parse_group_by(&args.group_by)? {
-        query = query.group(key);
-    }
-    for agg in parse::parse_aggregates(&args.select)? {
-        query = query.select(agg);
-    }
-    if let Some(column) = args.order_by {
-        query = query.order_by(column, args.descending);
-    }
-    if let Some(limit) = args.limit {
-        query = query.limit(limit);
-    }
-    Ok(query)
 }
 
 fn main() -> ExitCode {
@@ -142,6 +98,48 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let query = match args.flags.build_query() {
+        Ok(q) => q,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Federated path: every shard of a catalog directory, pruned at the
+    // shard level before any file is opened.
+    if !args.catalog.is_empty() {
+        let catalog = match Catalog::open(&args.catalog) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: open {}: {e}", args.catalog);
+                return ExitCode::FAILURE;
+            }
+        };
+        let result = if args.flags.serial {
+            catalog.execute_serial(&query)
+        } else {
+            catalog.execute(&query)
+        };
+        let out = match result {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let title = format!("swim-query: {}", args.catalog);
+        print!(
+            "{}",
+            cli::render_for(&out.output, args.flags.format, &title)
+        );
+        eprintln!(
+            "{} (catalog generation {}, {} jobs)",
+            out.stats_line(),
+            catalog.generation(),
+            catalog.job_count()
+        );
+        return ExitCode::SUCCESS;
+    }
     let store = match Store::open(&args.trace) {
         Ok(s) => s,
         Err(e) => {
@@ -149,14 +147,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let query = match build_query(&args) {
-        Ok(q) => q,
-        Err(msg) => {
-            eprintln!("error: {msg}\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = if args.serial {
+    let result = if args.flags.serial {
         execute_serial(&store, &query)
     } else {
         execute(&store, &query)
@@ -169,14 +160,10 @@ fn main() -> ExitCode {
         }
     };
     let title = format!("swim-query: {}", args.trace);
-    match args.format {
-        Format::Table => print!("{}", render::render_text(&output)),
-        Format::Markdown => print!("{}", render::render_markdown(&output, &title)),
-        Format::Json => println!("{}", render::render_json(&output)),
-    }
+    print!("{}", cli::render_for(&output, args.flags.format, &title));
     eprintln!(
         "{} (store v{}, {} jobs)",
-        render::stats_line(&output),
+        swim_query::render::stats_line(&output),
         store.format_version(),
         store.job_count()
     );

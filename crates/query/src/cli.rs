@@ -1,0 +1,200 @@
+//! The shared command-line surface of the query-capable binaries.
+//!
+//! `swim-query` and `swim-catalog query` accept the same flag set
+//! (`--select/--where/--group-by/--order-by/--desc/--limit/--format/
+//! --serial`); this module owns the parsing, validation, and renderer
+//! dispatch for it so the two CLIs cannot drift apart. Error messages
+//! are pinned by `crates/query/tests/cli_errors.rs`.
+
+use crate::exec::QueryOutput;
+use crate::plan::Query;
+use crate::{parse, render};
+
+/// Output rendering selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Aligned text table (the default).
+    #[default]
+    Table,
+    /// Markdown through the report document model.
+    Markdown,
+    /// One JSON object (columns, rows, stats).
+    Json,
+}
+
+impl OutputFormat {
+    /// Parse a `--format` value.
+    pub fn parse(text: &str) -> Result<OutputFormat, String> {
+        match text {
+            "table" | "text" => Ok(OutputFormat::Table),
+            "md" | "markdown" => Ok(OutputFormat::Markdown),
+            "json" => Ok(OutputFormat::Json),
+            other => Err(format!("unknown format {other} (expected table|md|json)")),
+        }
+    }
+}
+
+/// Accumulates the common query flags while a binary walks its
+/// argument stream; [`QueryFlags::build_query`] turns them into a typed
+/// [`Query`] once parsing is done.
+#[derive(Debug, Default)]
+pub struct QueryFlags {
+    select: Option<String>,
+    where_: String,
+    group_by: String,
+    order_by: Option<usize>,
+    descending: bool,
+    limit: Option<usize>,
+    /// Selected output rendering.
+    pub format: OutputFormat,
+    /// `--serial`: single-threaded execution (bit-identical output).
+    pub serial: bool,
+}
+
+impl QueryFlags {
+    /// Fresh flags (count-everything defaults).
+    pub fn new() -> QueryFlags {
+        QueryFlags::default()
+    }
+
+    /// Try to consume one flag; `next` supplies its value when needed.
+    /// Returns `Ok(false)` for flags this module does not own.
+    pub fn accept(
+        &mut self,
+        flag: &str,
+        next: impl FnOnce() -> Result<String, String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--select" => self.select = Some(next()?),
+            "--where" => self.where_ = next()?,
+            "--group-by" => self.group_by = next()?,
+            "--order-by" => {
+                let n: usize = next()?
+                    .parse()
+                    .map_err(|_| "--order-by requires a 1-based column number".to_owned())?;
+                if n == 0 {
+                    return Err("--order-by columns are 1-based".into());
+                }
+                self.order_by = Some(n - 1);
+            }
+            "--desc" => self.descending = true,
+            "--limit" => {
+                self.limit = Some(
+                    next()?
+                        .parse()
+                        .map_err(|_| "--limit requires an integer".to_owned())?,
+                )
+            }
+            "--format" => self.format = OutputFormat::parse(&next()?)?,
+            "--serial" => self.serial = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Build the typed query from the accumulated flag text.
+    pub fn build_query(&self) -> Result<Query, String> {
+        let mut query = Query::new().filter(parse::parse_predicate(&self.where_)?);
+        for key in parse::parse_group_by(&self.group_by)? {
+            query = query.group(key);
+        }
+        for agg in parse::parse_aggregates(self.select.as_deref().unwrap_or("count"))? {
+            query = query.select(agg);
+        }
+        if let Some(column) = self.order_by {
+            query = query.order_by(column, self.descending);
+        }
+        if let Some(limit) = self.limit {
+            query = query.limit(limit);
+        }
+        Ok(query)
+    }
+}
+
+/// Render a finished query for the selected format. The returned string
+/// is what the binary prints verbatim (JSON carries its trailing
+/// newline here).
+pub fn render_for(output: &QueryOutput, format: OutputFormat, title: &str) -> String {
+    match format {
+        OutputFormat::Table => render::render_text(output),
+        OutputFormat::Markdown => render::render_markdown(output, title),
+        OutputFormat::Json => {
+            let mut out = render::render_json(output);
+            out.push('\n');
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::Aggregate;
+    use crate::expr::{CmpOp, Col, Pred};
+
+    fn value(v: &str) -> impl FnOnce() -> Result<String, String> + '_ {
+        move || Ok(v.to_owned())
+    }
+
+    fn missing() -> Result<String, String> {
+        Err("flag requires a value".into())
+    }
+
+    #[test]
+    fn accepts_the_shared_flag_set_and_rejects_others() {
+        let mut flags = QueryFlags::new();
+        assert!(flags.accept("--select", value("count")).unwrap());
+        assert!(flags.accept("--where", value("input > 1gb")).unwrap());
+        assert!(flags.accept("--group-by", value("map_tasks")).unwrap());
+        assert!(flags.accept("--order-by", value("2")).unwrap());
+        assert!(flags.accept("--desc", missing).unwrap());
+        assert!(flags.accept("--limit", value("5")).unwrap());
+        assert!(flags.accept("--format", value("json")).unwrap());
+        assert!(flags.accept("--serial", missing).unwrap());
+        assert!(!flags.accept("--trace", value("x.swim")).unwrap());
+        assert!(!flags.accept("--frobnicate", missing).unwrap());
+
+        let query = flags.build_query().unwrap();
+        assert_eq!(
+            query.predicate,
+            Pred::cmp(Col::Input, CmpOp::Gt, 1_000_000_000)
+        );
+        assert_eq!(query.aggregates, vec![Aggregate::Count]);
+        assert_eq!(query.limit, Some(5));
+        assert_eq!(
+            query.order_by.map(|o| (o.column, o.descending)),
+            Some((1, true))
+        );
+        assert_eq!(flags.format, OutputFormat::Json);
+        assert!(flags.serial);
+    }
+
+    #[test]
+    fn flag_errors_are_pinned() {
+        let mut flags = QueryFlags::new();
+        assert_eq!(
+            flags.accept("--order-by", value("0")).unwrap_err(),
+            "--order-by columns are 1-based"
+        );
+        assert_eq!(
+            flags.accept("--order-by", value("x")).unwrap_err(),
+            "--order-by requires a 1-based column number"
+        );
+        assert_eq!(
+            flags.accept("--limit", value("many")).unwrap_err(),
+            "--limit requires an integer"
+        );
+        assert_eq!(
+            flags.accept("--format", value("parquet")).unwrap_err(),
+            "unknown format parquet (expected table|md|json)"
+        );
+    }
+
+    #[test]
+    fn default_query_counts_everything() {
+        let query = QueryFlags::new().build_query().unwrap();
+        assert_eq!(query.aggregates, vec![Aggregate::Count]);
+        assert_eq!(query.predicate, Pred::True);
+        assert!(query.group_by.is_empty());
+    }
+}

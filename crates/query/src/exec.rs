@@ -66,15 +66,17 @@ pub struct QueryOutput {
     pub stats: ExecStats,
 }
 
-/// Per-worker (or whole-serial-run) accumulator.
-struct Acc {
-    groups: HashMap<Vec<u64>, Vec<AggState>>,
-    rows_scanned: u64,
-    rows_matched: u64,
+/// Per-worker (or whole-serial-run) accumulator. Shared with the
+/// federated catalog executor ([`crate::federated`]), which folds chunks
+/// from many shards into the same state and merges it identically.
+pub(crate) struct Acc {
+    pub(crate) groups: HashMap<Vec<u64>, Vec<AggState>>,
+    pub(crate) rows_scanned: u64,
+    pub(crate) rows_matched: u64,
 }
 
 impl Acc {
-    fn new() -> Acc {
+    pub(crate) fn new() -> Acc {
         Acc {
             groups: HashMap::new(),
             rows_scanned: 0,
@@ -85,7 +87,7 @@ impl Acc {
 
 /// Fold one decoded chunk into the accumulator. `full_match` skips the
 /// row filter when the planner proved the whole chunk matches.
-fn fold_chunk(acc: &mut Acc, query: &Query, cols: &NumericColumns, full_match: bool) {
+pub(crate) fn fold_chunk(acc: &mut Acc, query: &Query, cols: &NumericColumns, full_match: bool) {
     let n = cols.len();
     acc.rows_scanned += n as u64;
     let mask = if full_match {
@@ -143,7 +145,7 @@ fn fold_chunk(acc: &mut Acc, query: &Query, cols: &NumericColumns, full_match: b
 }
 
 /// Merge a second accumulator into the first (exact, order-insensitive).
-fn merge_acc(a: &mut Acc, b: Acc) {
+pub(crate) fn merge_acc(a: &mut Acc, b: Acc) {
     a.rows_scanned += b.rows_scanned;
     a.rows_matched += b.rows_matched;
     for (key, states) in b.groups {
@@ -163,7 +165,7 @@ fn merge_acc(a: &mut Acc, b: Acc) {
 /// Canonical finalization: groups sorted by key, aggregates finalized,
 /// explicit ordering and limit applied. This is where any difference in
 /// accumulation order is erased, so serial ≡ parallel bit for bit.
-fn finalize(query: &Query, acc: Acc, stats: ExecStats) -> QueryOutput {
+pub(crate) fn finalize(query: &Query, acc: Acc, stats: ExecStats) -> QueryOutput {
     let mut rows: Vec<Row> = acc
         .groups
         .into_iter()
@@ -218,7 +220,7 @@ fn finalize(query: &Query, acc: Acc, stats: ExecStats) -> QueryOutput {
     }
 }
 
-fn stats_for(p: &crate::plan::Plan) -> ExecStats {
+pub(crate) fn stats_for(p: &crate::plan::Plan) -> ExecStats {
     ExecStats {
         chunks_total: p.chunks_total,
         chunks_scanned: p.selected.len(),

@@ -76,8 +76,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod agg;
+pub mod cli;
 pub mod exec;
 pub mod expr;
+pub mod federated;
 pub mod parse;
 pub mod plan;
 pub mod render;
@@ -85,10 +87,12 @@ pub mod render;
 pub use agg::{AggValue, Aggregate};
 pub use exec::{execute, execute_serial, ExecStats, QueryOutput, Row};
 pub use expr::{CmpOp, Col, Expr, Pred, Tri, Values};
+pub use federated::{CatalogOutput, CatalogQuery};
 pub use plan::{plan, OrderBy, Plan, Query};
 pub use render::{render_json, render_markdown, render_text};
 
 use std::fmt;
+use swim_catalog::CatalogError;
 use swim_store::StoreError;
 
 /// Errors from planning or executing a query.
@@ -97,6 +101,9 @@ use swim_store::StoreError;
 pub enum QueryError {
     /// The underlying store failed (I/O, corruption).
     Store(StoreError),
+    /// The underlying catalog failed (manifest, shard I/O) during
+    /// federated execution.
+    Catalog(CatalogError),
     /// The query itself is malformed (empty select, bad percentile rank,
     /// order-by out of range, unparseable text).
     Invalid(String),
@@ -106,6 +113,7 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::Store(e) => write!(f, "query store error: {e}"),
+            QueryError::Catalog(e) => write!(f, "query catalog error: {e}"),
             QueryError::Invalid(msg) => write!(f, "invalid query: {msg}"),
         }
     }
@@ -115,6 +123,7 @@ impl std::error::Error for QueryError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             QueryError::Store(e) => Some(e),
+            QueryError::Catalog(e) => Some(e),
             QueryError::Invalid(_) => None,
         }
     }
@@ -123,6 +132,12 @@ impl std::error::Error for QueryError {
 impl From<StoreError> for QueryError {
     fn from(e: StoreError) -> Self {
         QueryError::Store(e)
+    }
+}
+
+impl From<CatalogError> for QueryError {
+    fn from(e: CatalogError) -> Self {
+        QueryError::Catalog(e)
     }
 }
 
@@ -138,6 +153,9 @@ mod tests {
         assert!(e.source().is_none());
         let e = QueryError::from(StoreError::Truncated { context: "x" });
         assert!(e.to_string().contains("x"));
+        assert!(e.source().is_some());
+        let e = QueryError::from(CatalogError::Invalid("zero shards".into()));
+        assert!(e.to_string().contains("zero shards"));
         assert!(e.source().is_some());
     }
 }

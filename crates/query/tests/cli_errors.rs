@@ -1,0 +1,127 @@
+//! Golden-pinned `swim-query` CLI error behaviour: every malformed
+//! invocation must exit non-zero, print a specific first line on stderr,
+//! and leave stdout empty. The exact messages are pinned so error UX
+//! changes are deliberate, not accidental.
+
+use std::process::Command;
+
+fn fixture() -> String {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../store/tests/fixtures/v1-multichunk.swim"
+    )
+    .to_owned()
+}
+
+/// Run the binary; return (exit code, stdout, first stderr line).
+fn run(args: &[&str]) -> (i32, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_swim-query"))
+        .args(args)
+        .output()
+        .expect("swim-query binary runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    (
+        output.status.code().expect("exit code"),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        stderr.lines().next().unwrap_or_default().to_owned(),
+    )
+}
+
+#[test]
+fn bad_unit_suffix_is_rejected_with_the_suffix_named() {
+    let trace = fixture();
+    let (code, stdout, first) = run(&["--trace", &trace, "--where", "input > 5zb"]);
+    assert_eq!(code, 1);
+    assert!(stdout.is_empty(), "errors must not print results: {stdout}");
+    assert_eq!(
+        first,
+        "error: unknown unit suffix \"zb\" in \"input > 5zb\""
+    );
+}
+
+#[test]
+fn unknown_column_is_rejected_with_the_column_named() {
+    let trace = fixture();
+    let (code, stdout, first) = run(&["--trace", &trace, "--where", "frobnicate > 5"]);
+    assert_eq!(code, 1);
+    assert!(stdout.is_empty());
+    assert_eq!(
+        first,
+        "error: unknown column `frobnicate` (see --help for columns)"
+    );
+}
+
+#[test]
+fn dangling_operator_is_rejected_at_end_of_input() {
+    let trace = fixture();
+    let (code, stdout, first) = run(&["--trace", &trace, "--where", "input >"]);
+    assert_eq!(code, 1);
+    assert!(stdout.is_empty());
+    assert_eq!(first, "error: expected an expression at end of input");
+}
+
+#[test]
+fn unknown_aggregate_lists_the_valid_ones() {
+    let trace = fixture();
+    let (code, stdout, first) = run(&["--trace", &trace, "--select", "p101(duration)"]);
+    assert_eq!(code, 1);
+    assert!(stdout.is_empty());
+    assert_eq!(
+        first,
+        "error: unknown aggregate `p101` (count, sum, min, max, avg, p0\u{2013}p100)"
+    );
+}
+
+#[test]
+fn single_equals_points_at_double_equals() {
+    let trace = fixture();
+    let (code, _, first) = run(&["--trace", &trace, "--where", "input = 5"]);
+    assert_eq!(code, 1);
+    assert_eq!(first, "error: use `==` for equality");
+}
+
+#[test]
+fn unknown_flag_and_missing_inputs_are_usage_errors() {
+    let (code, _, first) = run(&["--frobnicate"]);
+    assert_eq!(code, 1);
+    assert_eq!(first, "error: unknown flag --frobnicate");
+
+    let (code, _, first) = run(&[]);
+    assert_eq!(code, 1);
+    assert_eq!(
+        first,
+        "error: a store file or catalog directory is required \
+         (swim-query --trace x.swim | --catalog dir)"
+    );
+
+    let trace = fixture();
+    let (code, _, first) = run(&["--trace", &trace, "--catalog", "some-dir"]);
+    assert_eq!(code, 1);
+    assert_eq!(first, "error: --trace and --catalog are mutually exclusive");
+}
+
+#[test]
+fn zero_order_by_column_is_rejected() {
+    let trace = fixture();
+    let (code, _, first) = run(&["--trace", &trace, "--order-by", "0"]);
+    assert_eq!(code, 1);
+    assert_eq!(first, "error: --order-by columns are 1-based");
+}
+
+#[test]
+fn help_exits_zero_with_usage_on_stdout() {
+    let (code, stdout, _) = run(&["--help"]);
+    assert_eq!(code, 0);
+    assert!(stdout.starts_with("usage: swim-query"), "{stdout}");
+}
+
+#[test]
+fn missing_store_file_errors_with_the_path() {
+    let (code, _, first) = run(&["--trace", "/no/such/file.swim", "--select", "count"]);
+    assert_eq!(code, 1);
+    assert!(first.contains("/no/such/file.swim"), "{first}");
+    assert!(
+        first.starts_with("error: open /no/such/file.swim:"),
+        "{first}"
+    );
+}

@@ -34,7 +34,7 @@ use swim_synth::validate::SynthesisReport;
 use swim_synth::ReplayPlan;
 use swim_trace::time::WEEK;
 use swim_trace::trace::WorkloadKind;
-use swim_trace::{Dur, Trace, TraceSummary};
+use swim_trace::{Dur, Timestamp, Trace, TraceSummary};
 
 use crate::render::{bytes, pct, ratio};
 
@@ -142,6 +142,9 @@ enum Source {
     Memory,
     /// Backed by an open columnar store; materialized lazily.
     Store(swim_store::Store),
+    /// Backed by a sharded catalog directory; materialized lazily from
+    /// every shard.
+    Catalog(swim_catalog::Catalog),
 }
 
 /// One input trace plus cached derived data, shared (immutably) by every
@@ -180,10 +183,12 @@ impl TraceContext {
         }
     }
 
-    /// Load a trace file. The format is inferred from the extension
-    /// (`.csv`, `.swim`/`.store`, anything else JSON-lines); CSV inputs
-    /// take the workload label from the file stem and the given machine
-    /// count. Store inputs answer their summary through the columnar
+    /// Load a trace file or catalog directory. Directories open as
+    /// `swim-catalog` datasets (summary straight from the manifest, no
+    /// shard I/O); file formats are inferred from the extension (`.csv`,
+    /// `.swim`/`.store`, anything else JSON-lines). CSV inputs take the
+    /// workload label from the file stem and the given machine count.
+    /// Store inputs answer their summary through the columnar
     /// `par_summary` scan without materializing the trace.
     pub fn load(path: impl AsRef<Path>, csv_machines: u32) -> Result<TraceContext, String> {
         let path = path.as_ref();
@@ -191,6 +196,20 @@ impl TraceContext {
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| path.display().to_string());
+        if path.is_dir() {
+            let catalog = swim_catalog::Catalog::open(path).map_err(|e| e.to_string())?;
+            let summary = catalog.summary();
+            return Ok(TraceContext {
+                label,
+                source: Source::Catalog(catalog),
+                summary,
+                trace: OnceLock::new(),
+                weekly: OnceLock::new(),
+                hourly: OnceLock::new(),
+                locality: OnceLock::new(),
+                input_access: OnceLock::new(),
+            });
+        }
         let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
         match ext {
             "swim" | "store" => {
@@ -252,6 +271,9 @@ impl TraceContext {
             Source::Store(store) => store
                 .read_trace()
                 .expect("store decoded once at load; chunks decode identically"),
+            Source::Catalog(catalog) => catalog
+                .read_trace()
+                .expect("catalog opened at load; shards decode identically"),
         })
     }
 
@@ -269,6 +291,20 @@ impl TraceContext {
                     .scan_range(start, start + Dur::from_secs(WEEK))
                     .expect("store decoded once at load; chunks decode identically");
                 HourlySeries::from_jobs(scan.jobs().map(|j| j.expect("store chunk decodes")))
+            }
+            Source::Catalog(catalog) => {
+                // Per-shard chunk-skipping range scans; `jobs_in_range`
+                // returns `(submit, id)` order, the same order the
+                // in-memory path folds in, so the f64 hourly sums are
+                // bit-identical to `HourlySeries::of(first_week)`.
+                let start = catalog
+                    .dataset_zone()
+                    .map(|z| Timestamp::from_secs(z.min[swim_store::ZoneMap::SUBMIT]))
+                    .unwrap_or(Timestamp::ZERO);
+                let jobs = catalog
+                    .jobs_in_range(start, start + Dur::from_secs(WEEK))
+                    .expect("catalog opened at load; shards decode identically");
+                HourlySeries::from_jobs(jobs.iter())
             }
             _ => HourlySeries::of(&self.trace().first_week()),
         })
@@ -719,6 +755,39 @@ mod tests {
         // Every battery entry must agree bit-for-bit across sources.
         for exp in &BATTERY {
             assert_eq!((exp.run)(&store), (exp.run)(&mem), "{}", exp.id);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn catalog_context_matches_memory_context() {
+        let trace = sample_trace();
+        let dir = std::env::temp_dir().join(format!("swim-report-cat-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut catalog = swim_catalog::Catalog::init(&dir).unwrap();
+        // Several small shards, so the battery runs truly federated.
+        catalog
+            .ingest_trace(
+                &trace,
+                &swim_catalog::CatalogOptions {
+                    jobs_per_shard: (trace.len() as u32 / 3).max(1),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(catalog.shard_count() >= 3, "want a multi-shard catalog");
+        drop(catalog);
+
+        let mem = TraceContext::from_trace("cc-e", sample_trace());
+        let cat = TraceContext::load(&dir, 100).unwrap();
+        // O(manifest) summary equals the in-memory Table-1 row.
+        assert_eq!(cat.summary(), &trace.summary(), "manifest summary path");
+        // Weekly series agree bit for bit (sorted federated range scan
+        // vs in-memory first week).
+        assert_eq!(cat.weekly(), mem.weekly());
+        // Every battery entry agrees bit for bit across sources.
+        for exp in &BATTERY {
+            assert_eq!((exp.run)(&cat), (exp.run)(&mem), "{}", exp.id);
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

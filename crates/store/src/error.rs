@@ -1,14 +1,26 @@
 //! Error type for store encoding, decoding, and I/O.
 
 use std::fmt;
+use std::path::PathBuf;
 use swim_trace::TraceError;
 
 /// Errors produced while writing or reading a columnar trace store.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum StoreError {
-    /// Underlying I/O failure.
+    /// Underlying I/O failure with no file attribution (in-memory
+    /// sources, generic writers).
     Io(std::io::Error),
+    /// I/O failure on a specific store file: every path-based entry point
+    /// ([`crate::Store::open`], per-scan reopens, chunk reads,
+    /// [`crate::write_store_path`]) attributes its errors to the file so
+    /// a federated scan over many shards names the one that failed.
+    File {
+        /// The store file the operation was touching.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
     /// The byte stream ended inside a structure.
     Truncated {
         /// What was being decoded.
@@ -35,6 +47,9 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::File { path, source } => {
+                write!(f, "store i/o error at {}: {source}", path.display())
+            }
             StoreError::Truncated { context } => {
                 write!(f, "truncated store: {context}")
             }
@@ -54,6 +69,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io(e) => Some(e),
+            StoreError::File { source, .. } => Some(source),
             StoreError::Trace(e) => Some(e),
             _ => None,
         }
@@ -63,6 +79,20 @@ impl std::error::Error for StoreError {
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
         StoreError::Io(e)
+    }
+}
+
+impl StoreError {
+    /// Attribute a bare I/O error to `path`. Errors that already carry a
+    /// path (or are not I/O at all) pass through unchanged.
+    pub fn at_path(self, path: &std::path::Path) -> StoreError {
+        match self {
+            StoreError::Io(source) => StoreError::File {
+                path: path.to_path_buf(),
+                source,
+            },
+            other => other,
+        }
     }
 }
 
@@ -92,5 +122,30 @@ mod tests {
         assert!(io.to_string().contains("boom"));
         use std::error::Error as _;
         assert!(io.source().is_some());
+    }
+
+    #[test]
+    fn file_errors_render_the_offending_path() {
+        let e = StoreError::File {
+            path: PathBuf::from("/data/shard-7.swim"),
+            source: std::io::Error::other("disk fell off"),
+        };
+        let rendered = e.to_string();
+        assert!(rendered.contains("/data/shard-7.swim"), "{rendered}");
+        assert!(rendered.contains("disk fell off"), "{rendered}");
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn at_path_attributes_only_bare_io_errors() {
+        let io = StoreError::from(std::io::Error::other("boom"));
+        let attributed = io.at_path(std::path::Path::new("x.swim"));
+        assert!(matches!(attributed, StoreError::File { .. }));
+        assert!(attributed.to_string().contains("x.swim"));
+        // Non-I/O errors pass through untouched.
+        let corrupt = StoreError::Corrupt { context: "c" }.at_path(std::path::Path::new("y.swim"));
+        assert!(matches!(corrupt, StoreError::Corrupt { .. }));
+        assert!(!corrupt.to_string().contains("y.swim"));
     }
 }

@@ -282,6 +282,32 @@ mod tests {
     }
 
     #[test]
+    fn open_and_write_errors_name_the_offending_file() {
+        let missing = std::env::temp_dir().join("swim-store-no-such-file-ever.swim");
+        let err = Store::open(&missing).expect_err("missing file cannot open");
+        assert!(
+            matches!(err, StoreError::File { .. }),
+            "unexpected error {err:?}"
+        );
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains("swim-store-no-such-file-ever.swim"),
+            "path missing from message: {rendered}"
+        );
+
+        let bad_dir = std::env::temp_dir()
+            .join("swim-store-no-such-dir-ever")
+            .join("out.swim");
+        let trace = varied_trace(3);
+        let err = write_store_path(&trace, &bad_dir, &StoreOptions::default())
+            .expect_err("write into a missing directory must fail");
+        assert!(
+            err.to_string().contains("swim-store-no-such-dir-ever"),
+            "path missing from message: {err}"
+        );
+    }
+
+    #[test]
     fn par_scan_counts_every_job_once() {
         let trace = varied_trace(4_321);
         let store =

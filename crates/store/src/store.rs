@@ -22,9 +22,11 @@ enum StoreSource {
     Mem(Arc<[u8]>),
 }
 
-/// A per-scan read handle (owned file descriptor or shared slice).
+/// A per-scan read handle (owned file descriptor or shared slice). File
+/// handles remember their path so every read error names the file it
+/// happened in — essential once many shards are scanned federatedly.
 enum ReadHandle {
-    File(File),
+    File { file: File, path: PathBuf },
     Mem(Arc<[u8]>),
 }
 
@@ -34,10 +36,16 @@ impl ReadHandle {
             context: "span length overflows usize",
         })?;
         match self {
-            ReadHandle::File(f) => {
+            ReadHandle::File { file, path } => {
                 let mut buf = vec![0u8; len_usize];
-                f.seek(SeekFrom::Start(offset))?;
-                f.read_exact(&mut buf)?;
+                let mut read = |f: &mut File| {
+                    f.seek(SeekFrom::Start(offset))?;
+                    f.read_exact(&mut buf)
+                };
+                read(file).map_err(|source| StoreError::File {
+                    path: path.clone(),
+                    source,
+                })?;
                 Ok(buf)
             }
             ReadHandle::Mem(bytes) => {
@@ -72,12 +80,20 @@ pub struct Store {
 }
 
 impl Store {
-    /// Open a store file, reading header and footer only.
+    /// Open a store file, reading header and footer only. I/O failures
+    /// carry the offending path ([`StoreError::File`]).
     pub fn open(path: impl AsRef<Path>) -> Result<Store, StoreError> {
         let path = path.as_ref().to_path_buf();
-        let file = File::open(&path)?;
-        let file_len = file.metadata()?.len();
-        let mut handle = ReadHandle::File(file);
+        let at = |source: std::io::Error| StoreError::File {
+            path: path.clone(),
+            source,
+        };
+        let file = File::open(&path).map_err(at)?;
+        let file_len = file.metadata().map_err(at)?.len();
+        let mut handle = ReadHandle::File {
+            file,
+            path: path.clone(),
+        };
         Self::parse(StoreSource::File(path), &mut handle, file_len)
     }
 
@@ -259,7 +275,13 @@ impl Store {
 
     fn new_handle(&self) -> Result<ReadHandle, StoreError> {
         Ok(match &self.source {
-            StoreSource::File(path) => ReadHandle::File(File::open(path)?),
+            StoreSource::File(path) => ReadHandle::File {
+                file: File::open(path).map_err(|source| StoreError::File {
+                    path: path.clone(),
+                    source,
+                })?,
+                path: path.clone(),
+            },
             StoreSource::Mem(bytes) => ReadHandle::Mem(bytes.clone()),
         })
     }

@@ -153,14 +153,19 @@ fn max_submit(jobs: &[Job]) -> Timestamp {
         .unwrap_or(Timestamp::ZERO)
 }
 
-/// Write a trace to a file path.
+/// Write a trace to a file path. I/O failures carry the offending path
+/// ([`StoreError::File`]).
 pub fn write_store_path(
     trace: &Trace,
     path: impl AsRef<Path>,
     options: &StoreOptions,
 ) -> Result<StoreStats, StoreError> {
-    let file = File::create(path)?;
-    write_store(trace, file, options)
+    let path = path.as_ref();
+    let file = File::create(path).map_err(|source| StoreError::File {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    write_store(trace, file, options).map_err(|e| e.at_path(path))
 }
 
 /// Encode a trace into an in-memory store image.

@@ -18,9 +18,15 @@
 //! * [`store`] — a columnar, chunked binary trace store with parallel
 //!   chunked scans, for million-job histories that should not be
 //!   re-parsed from text (or held in RAM) on every analysis;
+//! * [`catalog`] — a sharded trace-dataset catalog: a directory of
+//!   immutable `.swim` shards behind one versioned manifest, with atomic
+//!   ingest, shard-level zone maps, a decoded-column LRU cache, and
+//!   compaction;
 //! * [`query`] — a vectorized filter/group/aggregate query engine over
 //!   the store, with per-chunk zone maps (format v2) that let the
-//!   planner skip chunks on any numeric-column predicate;
+//!   planner skip chunks on any numeric-column predicate — and, over a
+//!   catalog, federated execution with two-level (shard, then chunk)
+//!   pruning;
 //! * [`report`] — the document model (report → section → block), the
 //!   Markdown/HTML renderers, and the parallel cross-trace comparison
 //!   pipeline behind the `swim-report` binary.
@@ -49,6 +55,7 @@
 
 #![warn(missing_docs)]
 
+pub use swim_catalog as catalog;
 pub use swim_core as core;
 pub use swim_query as query;
 pub use swim_report as report;
@@ -60,8 +67,9 @@ pub use swim_workloadgen as workloadgen;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use swim_catalog::{Catalog, CatalogOptions};
     pub use swim_core::workload::WorkloadAnalysis;
-    pub use swim_query::Query;
+    pub use swim_query::{CatalogQuery, Query};
     pub use swim_sim::{CachePolicy, SimConfig, Simulator};
     pub use swim_store::{Store, StoreOptions};
     pub use swim_synth::sample::{sample_windows, SampleConfig};
