@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use swim_catalog::{Catalog, CatalogOptions};
 use swim_query::{Aggregate, CatalogQuery, Expr, Pred, Query};
 use swim_store::StoreOptions;
@@ -117,14 +117,16 @@ fn bench_catalog(c: &mut Criterion) {
     // wins by ~10x.
     catalog.set_cache_capacity(0);
     let full_time = best_of(3, || {
-        let t = Instant::now();
-        black_box(catalog.execute(&full_query()).expect("executes"));
-        t.elapsed()
+        swim_obs::timed("bench.catalog_full_scan", || {
+            black_box(catalog.execute(&full_query()).expect("executes"))
+        })
+        .1
     });
     let sel_time = best_of(3, || {
-        let t = Instant::now();
-        black_box(catalog.execute(&selective_query()).expect("executes"));
-        t.elapsed()
+        swim_obs::timed("bench.catalog_selective", || {
+            black_box(catalog.execute(&selective_query()).expect("executes"))
+        })
+        .1
     });
     eprintln!(
         "headline: full federated scan {full_time:?} vs shard-pruned selective {sel_time:?} \

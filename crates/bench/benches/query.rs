@@ -6,7 +6,6 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Instant;
 use swim_query::{execute, Aggregate, Expr, Pred, Query};
 use swim_store::{store_to_vec, Store, StoreOptions};
 use swim_trace::trace::WorkloadKind;
@@ -122,13 +121,15 @@ fn bench_query(c: &mut Criterion) {
     });
     group.finish();
 
-    // Headline: selective vs non-selective, one timed pass each.
-    let t0 = Instant::now();
-    let full = execute(&store, &non_selective_query()).expect("executes");
-    let full_time = t0.elapsed();
-    let t1 = Instant::now();
-    let sel = execute(&store, &selective_query()).expect("executes");
-    let sel_time = t1.elapsed();
+    // Headline: selective vs non-selective, one timed pass each on the
+    // swim-obs clock (`timed` measures whether or not instrumentation is
+    // enabled, so benches and spans share one timing path).
+    let (full, full_time) = swim_obs::timed("bench.query_full_scan", || {
+        execute(&store, &non_selective_query()).expect("executes")
+    });
+    let (sel, sel_time) = swim_obs::timed("bench.query_selective", || {
+        execute(&store, &selective_query()).expect("executes")
+    });
     assert_eq!(full.stats.chunks_scanned, full.stats.chunks_total);
     eprintln!(
         "headline: full scan {full_time:?} ({} chunks) vs selective {sel_time:?} ({} chunks) \
@@ -137,6 +138,40 @@ fn bench_query(c: &mut Criterion) {
         sel.stats.chunks_scanned,
         full_time.as_secs_f64() / sel_time.as_secs_f64(),
         full.stats.chunks_total as f64 / sel.stats.chunks_scanned.max(1) as f64
+    );
+
+    // Obs overhead smoke: the instrumentation baked into the store and
+    // query hot paths must be free when disabled — and close enough to
+    // free when fully enabled that turning it on in production is safe.
+    // Best-of-5 full scans each way damps scheduler noise; the gate is
+    // <5% on the enabled/disabled ratio, which upper-bounds what the
+    // disabled path (one relaxed atomic load + branch per record) costs.
+    let best_of = |n: usize| {
+        (0..n)
+            .map(|_| {
+                swim_obs::timed("bench.obs_overhead", || {
+                    execute(&store, &non_selective_query()).expect("executes")
+                })
+                .1
+            })
+            .min()
+            .expect("at least one run")
+    };
+    swim_obs::set_enabled(0);
+    let disabled = best_of(5);
+    swim_obs::set_enabled(swim_obs::ALL);
+    let enabled = best_of(5);
+    swim_obs::set_enabled(0);
+    swim_obs::reset();
+    let ratio = enabled.as_secs_f64() / disabled.as_secs_f64();
+    eprintln!(
+        "obs overhead on 1M-job full scan: disabled {disabled:?} vs enabled {enabled:?} \
+         => {ratio:.3}x"
+    );
+    assert!(
+        ratio <= 1.05,
+        "enabled instrumentation must cost <5% on the 1M-job query bench: \
+         disabled {disabled:?} vs enabled {enabled:?} ({ratio:.3}x)"
     );
 }
 

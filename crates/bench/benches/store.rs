@@ -5,7 +5,6 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Instant;
 use swim_store::{store_to_vec, Store, StoreOptions};
 use swim_trace::trace::WorkloadKind;
 use swim_trace::{io, DataSize, Dur, JobBuilder, Timestamp, Trace, TraceSummary};
@@ -135,15 +134,13 @@ fn bench_scan(c: &mut Criterion) {
     group.finish();
 
     // Headline number: one timed pass each, CSV parse+summary vs parallel
-    // store scan computing the same statistic.
-    let t0 = Instant::now();
-    let a = io::from_csv_string(trace.kind.clone(), trace.machines, &csv)
-        .expect("parses")
-        .summary();
-    let csv_time = t0.elapsed();
-    let t1 = Instant::now();
-    let b = fold_summary(&store);
-    let store_time = t1.elapsed();
+    // store scan computing the same statistic, on the swim-obs clock.
+    let (a, csv_time) = swim_obs::timed("bench.csv_parse_summary", || {
+        io::from_csv_string(trace.kind.clone(), trace.machines, &csv)
+            .expect("parses")
+            .summary()
+    });
+    let (b, store_time) = swim_obs::timed("bench.store_par_scan", || fold_summary(&store));
     assert_eq!(a, b, "both paths must compute the same Table 1 row");
     eprintln!(
         "headline: csv parse+summary {csv_time:?} vs store par_scan {store_time:?} \

@@ -4,11 +4,12 @@
 //! swim-catalog init DIR
 //! swim-catalog ingest DIR TRACE... [--machines N] [--jobs-per-shard N]
 //!                                  [--jobs-per-chunk N] [--adopt]
-//! swim-catalog stats DIR
+//! swim-catalog stats DIR [--metrics]
 //! swim-catalog compact DIR [--jobs-per-shard N] [--jobs-per-chunk N] [--vacuum]
 //! swim-catalog query DIR --select AGGS [--where PRED] [--group-by EXPRS]
 //!                        [--order-by N] [--desc] [--limit N]
 //!                        [--format table|md|json] [--serial]
+//!                        [--explain | --profile]
 //! ```
 //!
 //! `ingest` accepts `.csv` (labelled by file stem, sized by
@@ -18,6 +19,12 @@
 //! pruned by manifest-level zone maps before any file is opened, then by
 //! per-chunk zone maps. Tables go to stdout, pruning summaries to
 //! stderr.
+//!
+//! `query --explain` prints shard- and chunk-level zone-map verdicts
+//! without executing; `query --profile` executes with `swim-obs`
+//! instrumentation forced on and appends the metrics. `stats --metrics`
+//! adds decoded-column LRU cache counters (lifetime hits, misses,
+//! evictions — they survive `compact`).
 
 use std::process::ExitCode;
 use swim_catalog::{Catalog, CatalogOptions};
@@ -28,10 +35,11 @@ const USAGE: &str = "usage:\n\
  swim-catalog init DIR\n\
  swim-catalog ingest DIR TRACE... [--machines N] [--jobs-per-shard N] \
  [--jobs-per-chunk N] [--adopt]\n\
- swim-catalog stats DIR\n\
+ swim-catalog stats DIR [--metrics]\n\
  swim-catalog compact DIR [--jobs-per-shard N] [--jobs-per-chunk N] [--vacuum]\n\
  swim-catalog query DIR --select AGGS [--where PRED] [--group-by EXPRS] \
- [--order-by N] [--desc] [--limit N] [--format table|md|json] [--serial]\n\
+ [--order-by N] [--desc] [--limit N] [--format table|md|json] [--serial] \
+ [--explain | --profile]\n\
  trace formats by extension: .csv (needs --machines), .swim/.store \
  (streamed), anything else JSON-lines";
 
@@ -46,6 +54,7 @@ struct OptionFlags {
     options: CatalogOptions,
     adopt: bool,
     vacuum: bool,
+    metrics: bool,
     /// Flags actually present on the command line (so subcommands can
     /// reject combinations where a given flag would have no effect).
     seen: Vec<&'static str>,
@@ -64,6 +73,7 @@ fn split_flags(
         options: CatalogOptions::default(),
         adopt: false,
         vacuum: false,
+        metrics: false,
         seen: Vec::new(),
     };
     let mut positional = Vec::new();
@@ -99,6 +109,7 @@ fn split_flags(
             }
             "--adopt" => flags.adopt = true,
             "--vacuum" => flags.vacuum = true,
+            "--metrics" => flags.metrics = true,
             other => positional.push(other.to_owned()),
         }
     }
@@ -166,7 +177,7 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let (positional, _) = split_flags(args, &[])?;
+    let (positional, flags) = split_flags(args, &["--metrics"])?;
     let [dir] = positional.as_slice() else {
         return Err("stats takes exactly one directory".into());
     };
@@ -193,6 +204,35 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
             entry.bytes,
             entry.kind_label,
         );
+    }
+    if flags.metrics {
+        // Lifetime counters for this catalog handle: they survive
+        // clear() and compact(), so a long-lived process sees cache
+        // pressure across generations.
+        let cache = catalog.cache_stats();
+        println!(
+            "column cache: capacity {} shard{}, {} entr{}, {} hit{}, {} miss{}, {} eviction{}",
+            cache.capacity,
+            if cache.capacity == 1 { "" } else { "s" },
+            cache.entries,
+            if cache.entries == 1 { "y" } else { "ies" },
+            cache.hits,
+            if cache.hits == 1 { "" } else { "s" },
+            cache.misses,
+            if cache.misses == 1 { "" } else { "es" },
+            cache.evictions,
+            if cache.evictions == 1 { "" } else { "s" },
+        );
+        let snap = swim_obs::snapshot();
+        if !snap.counters.is_empty() {
+            println!(
+                "swim-obs counters (SWIM_OBS={:?}):",
+                std::env::var("SWIM_OBS").unwrap_or_default()
+            );
+            for (name, value) in &snap.counters {
+                println!("  {name}: {value}");
+            }
+        }
     }
     Ok(())
 }
@@ -257,8 +297,21 @@ fn parse_query_args(args: &[String]) -> Result<(String, cli::QueryFlags), String
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (dir, flags) = parse_query_args(args)?;
+    flags.validate()?;
     let query = flags.build_query()?;
     let catalog = Catalog::open(&dir).map_err(|e| e.to_string())?;
+    if flags.explain {
+        let explain = swim_query::explain_catalog(&catalog, &query).map_err(|e| e.to_string())?;
+        let title = format!("explain: {dir}");
+        print!("{}", cli::render_explain(&explain, flags.format, &title));
+        return Ok(());
+    }
+    if flags.profile {
+        // Start counting from zero so the printed metrics cover exactly
+        // this query (including shard pruning and cache traffic).
+        swim_obs::set_enabled(swim_obs::ALL);
+        swim_obs::reset();
+    }
     let result = if flags.serial {
         catalog.execute_serial(&query)
     } else {
@@ -273,6 +326,16 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         catalog.generation(),
         catalog.job_count()
     );
+    if flags.profile {
+        let sep = match flags.format {
+            cli::OutputFormat::Json => "",
+            _ => "\n",
+        };
+        print!(
+            "{sep}{}",
+            cli::render_profile(&swim_obs::snapshot(), flags.format)
+        );
+    }
     Ok(())
 }
 
@@ -281,6 +344,9 @@ fn main() -> ExitCode {
     let Some(command) = args.first() else {
         return fail("a subcommand is required");
     };
+    // SWIM_OBS enables instrumentation for any subcommand (ingest and
+    // compact record spans too); `query --profile` forces it on itself.
+    swim_obs::init_from_env();
     let rest = &args[1..];
     let result = match command.as_str() {
         "init" => cmd_init(rest),
@@ -294,6 +360,10 @@ fn main() -> ExitCode {
         }
         other => return fail(format!("unknown subcommand {other}")),
     };
+    let snap = swim_obs::snapshot();
+    if let Err(e) = swim_obs::jsonl::append_env(&snap) {
+        eprintln!("warning: SWIM_OBS_JSONL: {e}");
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => fail(msg),

@@ -16,7 +16,6 @@
 //! reduction the wave engine achieves.
 
 use std::process::ExitCode;
-use std::time::Instant;
 use swim_bench::render::{cache_label, pct, Table};
 use swim_sim::reference::run_per_task;
 use swim_sim::{CachePolicy, ScenarioGrid, SchedulerKind, Simulator};
@@ -197,6 +196,9 @@ fn print_help() {
 }
 
 fn main() -> ExitCode {
+    // SWIM_OBS=span,metric collects sim counters/spans; the snapshot can
+    // be exported with SWIM_OBS_JSONL=FILE.
+    swim_obs::init_from_env();
     let args = match parse_args(std::env::args().skip(1).collect()) {
         Ok(args) => args,
         Err(msg) => {
@@ -259,9 +261,9 @@ fn main() -> ExitCode {
         args.schedulers.len(),
         args.caches.len()
     );
-    let started = Instant::now();
-    let cells = Simulator::sweep(&grid, &plan, Some(&paths));
-    let elapsed = started.elapsed();
+    let (cells, elapsed) = swim_obs::timed("bench.sim_sweep", || {
+        Simulator::sweep(&grid, &plan, Some(&paths))
+    });
 
     let mut table = Table::new(vec![
         "Nodes",
@@ -302,12 +304,12 @@ fn main() -> ExitCode {
     if args.per_task {
         let config = grid.configs()[0];
         eprintln!("\nrunning per-task reference engine on the first scenario ...");
-        let wave_t = Instant::now();
-        let wave = Simulator::new(config).run(&plan, Some(&paths));
-        let wave_elapsed = wave_t.elapsed();
-        let ref_t = Instant::now();
-        let per_task = run_per_task(&config, &plan, Some(&paths));
-        let ref_elapsed = ref_t.elapsed();
+        let (wave, wave_elapsed) = swim_obs::timed("bench.sim_wave_engine", || {
+            Simulator::new(config).run(&plan, Some(&paths))
+        });
+        let (per_task, ref_elapsed) = swim_obs::timed("bench.sim_per_task_engine", || {
+            run_per_task(&config, &plan, Some(&paths))
+        });
         println!(
             "wave engine:     {} heap events, {:.2?}\n\
              per-task engine: {} heap events, {:.2?}\n\
@@ -323,6 +325,9 @@ fn main() -> ExitCode {
             eprintln!("WARNING: engines disagree on per-job outcomes");
             return ExitCode::FAILURE;
         }
+    }
+    if let Err(e) = swim_obs::jsonl::append_env(&swim_obs::snapshot()) {
+        eprintln!("warning: SWIM_OBS_JSONL: {e}");
     }
     ExitCode::SUCCESS
 }

@@ -14,13 +14,30 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use swim_store::format::columns::NumericColumns;
 
+/// swim-obs mirrors of the cache counters, so `--profile` and the JSONL
+/// sink see cache behavior without a [`CacheStats`] in hand.
+mod obs {
+    use swim_obs::Counter;
+
+    pub static HITS: Counter = Counter::new("catalog.cache_hits");
+    pub static MISSES: Counter = Counter::new("catalog.cache_misses");
+    pub static EVICTIONS: Counter = Counter::new("catalog.cache_evictions");
+}
+
 /// Counters and sizing of the decoded-column cache.
+///
+/// `hits`, `misses`, and `evictions` are **lifetime** counters: they
+/// survive cache invalidation (and therefore catalog compaction),
+/// which resets entries only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from memory (no decode).
     pub hits: u64,
     /// Full-shard decodes that went to disk (and were then cached).
     pub misses: u64,
+    /// Entries dropped to keep the cache within capacity (LRU-first;
+    /// does not count `clear`, which is invalidation, not pressure).
+    pub evictions: u64,
     /// Shards currently cached.
     pub entries: usize,
     /// Maximum number of cached shards.
@@ -42,7 +59,10 @@ struct Inner {
 }
 
 impl Inner {
-    fn evict_over_capacity(&mut self) {
+    /// Evict LRU-first down to capacity, returning how many entries were
+    /// dropped (the caller owns the eviction counters).
+    fn evict_over_capacity(&mut self) -> u64 {
+        let mut evicted = 0;
         while self.map.len() > self.capacity {
             let oldest = self
                 .map
@@ -51,7 +71,9 @@ impl Inner {
                 .map(|(key, _)| key.clone())
                 .expect("map is over capacity, hence non-empty");
             self.map.remove(&oldest);
+            evicted += 1;
         }
+        evicted
     }
 }
 
@@ -61,6 +83,7 @@ pub(crate) struct ColumnCache {
     inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// Default capacity: shards' decoded columns cost ~80 bytes per job, so
@@ -78,6 +101,7 @@ impl ColumnCache {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -89,6 +113,7 @@ impl ColumnCache {
         let slot = inner.map.get_mut(&(file.to_owned(), created_gen))?;
         slot.last_used = tick;
         self.hits.fetch_add(1, Ordering::Relaxed);
+        obs::HITS.incr();
         Some(slot.columns.clone())
     }
 
@@ -96,6 +121,7 @@ impl ColumnCache {
     /// least recently used entry if the cache is over capacity.
     pub(crate) fn insert(&self, file: &str, created_gen: u64, columns: Arc<Vec<NumericColumns>>) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::MISSES.incr();
         let mut inner = self.inner.lock();
         if inner.capacity == 0 {
             return;
@@ -109,10 +135,19 @@ impl ColumnCache {
                 last_used: tick,
             },
         );
-        inner.evict_over_capacity();
+        self.count_evictions(inner.evict_over_capacity());
     }
 
-    /// Drop every entry (compaction rewrote the manifest).
+    fn count_evictions(&self, evicted: u64) {
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            obs::EVICTIONS.add(evicted);
+        }
+    }
+
+    /// Drop every entry (compaction rewrote the manifest). Lifetime
+    /// hit/miss/eviction counters are deliberately untouched: clearing
+    /// invalidates *entries*, not history.
     pub(crate) fn clear(&self) {
         self.inner.lock().map.clear();
     }
@@ -120,7 +155,9 @@ impl ColumnCache {
     pub(crate) fn set_capacity(&self, capacity: usize) {
         let mut inner = self.inner.lock();
         inner.capacity = capacity;
-        inner.evict_over_capacity();
+        let evicted = inner.evict_over_capacity();
+        drop(inner);
+        self.count_evictions(evicted);
     }
 
     /// Current capacity (cheap: one lock, no counter reads).
@@ -133,6 +170,7 @@ impl ColumnCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries: inner.map.len(),
             capacity: inner.capacity,
         }
@@ -207,5 +245,34 @@ mod tests {
         cache.insert("a", 1, cols(1));
         cache.clear();
         assert!(cache.lookup("a", 1).is_none());
+    }
+
+    #[test]
+    fn evictions_are_counted_under_pressure_but_not_on_clear() {
+        let cache = ColumnCache::new(2);
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            cache.insert(name, 1, cols(i as u64));
+        }
+        assert_eq!(cache.stats().evictions, 2, "c and d pushed a and b out");
+        cache.set_capacity(1);
+        assert_eq!(cache.stats().evictions, 3, "shrinking evicts too");
+        cache.clear();
+        assert_eq!(cache.stats().evictions, 3, "clear is not an eviction");
+    }
+
+    #[test]
+    fn clear_resets_entries_but_lifetime_counters_survive() {
+        let cache = ColumnCache::new(4);
+        cache.insert("a", 1, cols(1));
+        cache.insert("b", 1, cols(2));
+        assert!(cache.lookup("a", 1).is_some());
+        assert!(cache.lookup("zzz", 1).is_none());
+        let before = cache.stats();
+        cache.clear();
+        let after = cache.stats();
+        assert_eq!(after.entries, 0);
+        assert_eq!(after.hits, before.hits);
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(after.evictions, before.evictions);
     }
 }

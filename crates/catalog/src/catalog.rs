@@ -328,6 +328,7 @@ impl Catalog {
         trace: &Trace,
         options: &CatalogOptions,
     ) -> Result<IngestStats, CatalogError> {
+        let _span = swim_obs::span("catalog.ingest");
         let per_shard = options.validate()? as usize;
         if trace.is_empty() {
             return Ok(IngestStats::default());
@@ -392,6 +393,7 @@ impl Catalog {
         path: &Path,
         options: &CatalogOptions,
     ) -> Result<IngestStats, CatalogError> {
+        let _span = swim_obs::span("catalog.ingest");
         let per_shard = options.validate()? as usize;
         let shard_err = |e| CatalogError::Parse {
             path: path.to_path_buf(),
@@ -477,6 +479,7 @@ impl Catalog {
         jobs: Vec<Job>,
         options: &CatalogOptions,
     ) -> Result<ShardEntry, CatalogError> {
+        let _span = swim_obs::span("catalog.write_shard");
         debug_assert!(!jobs.is_empty(), "shards are never empty");
         let file = shard_file_name(gen, seq);
         let tmp = self.tmp_path(&file);
@@ -582,6 +585,7 @@ impl Catalog {
     /// such readers remain. A catalog with nothing to rewrite is left
     /// untouched (same generation).
     pub fn compact(&mut self, options: &CatalogOptions) -> Result<CompactStats, CatalogError> {
+        let _span = swim_obs::span("catalog.compact");
         let per_shard = options.validate()? as usize;
         let threshold = (per_shard / 2).max(1) as u64;
         let needs_rewrite =
@@ -709,6 +713,7 @@ impl Catalog {
     /// already published; an in-flight one cannot be detected, so the
     /// single-writer rule applies to vacuum too.
     pub fn vacuum(&self) -> Result<usize, CatalogError> {
+        let _span = swim_obs::span("catalog.vacuum");
         self.check_not_raced()?;
         let mut removed = 0usize;
         let entries = std::fs::read_dir(&self.dir).map_err(|e| CatalogError::io(&self.dir, e))?;

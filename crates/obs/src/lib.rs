@@ -1,0 +1,146 @@
+//! # swim-obs
+//!
+//! A zero-dependency observability layer for the swim workspace:
+//! counters, gauges, nearest-rank latency histograms, and hierarchical
+//! timed spans, collected into one process-wide [`Registry`] and
+//! exported as plain data ([`Snapshot`]) or JSON lines ([`jsonl`]).
+//!
+//! The crate sits **below** every other workspace crate (including
+//! `swim-store`), so any layer can instrument its hot paths without new
+//! dependency edges. Three properties keep that instrumentation honest:
+//!
+//! 1. **Cheap when disabled.** Every recording call starts with one
+//!    relaxed atomic load of the global enable mask; when the relevant
+//!    bit is off the call returns immediately — no allocation, no lock,
+//!    no clock read. Instrumentation is compiled in unconditionally and
+//!    costs a branch.
+//! 2. **Static instruments, lazy registration.** Instruments are
+//!    `static` values (`Counter::new` is `const`); they register
+//!    themselves with the global registry on first *enabled* touch, so
+//!    an instrument that never fires never shows up in a snapshot.
+//! 3. **Exact, deterministic data.** Counters are exact `u64`s,
+//!    histogram quantiles use the same nearest-rank rule as
+//!    `swim_core::stats::Ecdf::quantile` (property-tested bit-for-bit),
+//!    and snapshots sort by name — so for a deterministic workload the
+//!    counter section of a snapshot is byte-stable.
+//!
+//! Enablement comes from the `SWIM_OBS` environment variable
+//! ([`init_from_env`]: comma-separated `metric` / `span` / `all`) or
+//! programmatically ([`set_enabled`]) — `swim-query --profile` forces
+//! everything on for the duration of the query.
+//!
+//! ```
+//! use swim_obs::{set_enabled, snapshot, Counter, METRICS};
+//!
+//! static DECODED: Counter = Counter::new("example.chunks_decoded");
+//! set_enabled(METRICS);
+//! DECODED.add(3);
+//! let snap = snapshot();
+//! assert_eq!(snap.counter("example.chunks_decoded"), Some(3));
+//! set_enabled(0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod jsonl;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use metrics::{quantile_of_sorted, Counter, Gauge, Histogram};
+pub use registry::{reset, snapshot, HistogramSample, Registry, Snapshot, SpanSample};
+pub use span::{span, timed, SpanGuard};
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Enable bit for counters, gauges, and histograms.
+pub const METRICS: u32 = 1;
+/// Enable bit for hierarchical timed spans.
+pub const SPANS: u32 = 2;
+/// Every component.
+pub const ALL: u32 = METRICS | SPANS;
+
+/// The process-wide enable mask. Everything is off by default, so
+/// instrumented code paths cost one relaxed load + branch.
+static ENABLED: AtomicU32 = AtomicU32::new(0);
+
+/// Replace the enable mask (a bitwise OR of [`METRICS`] and [`SPANS`];
+/// `0` disables everything).
+pub fn set_enabled(mask: u32) {
+    ENABLED.store(mask & ALL, Ordering::Relaxed);
+}
+
+/// `true` when *any* bit of `mask` is enabled.
+#[inline]
+pub fn enabled(mask: u32) -> bool {
+    ENABLED.load(Ordering::Relaxed) & mask != 0
+}
+
+/// Parse an enable mask from `SWIM_OBS` and apply it, returning the
+/// mask. Tokens are comma-separated: `metric`/`metrics`, `span`/`spans`,
+/// `all`/`1`. Unknown tokens are ignored, so an unset or empty variable
+/// leaves everything off.
+pub fn init_from_env() -> u32 {
+    let mask = std::env::var("SWIM_OBS")
+        .map(|v| parse_mask(&v))
+        .unwrap_or(0);
+    set_enabled(mask);
+    mask
+}
+
+/// Parse a `SWIM_OBS`-style component list into an enable mask.
+pub fn parse_mask(text: &str) -> u32 {
+    let mut mask = 0;
+    for token in text.split(',') {
+        match token.trim() {
+            "metric" | "metrics" => mask |= METRICS,
+            "span" | "spans" => mask |= SPANS,
+            "all" | "1" | "true" => mask |= ALL,
+            _ => {}
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Tests that flip the global enable mask must not interleave: this
+    //! lock serializes them within the crate's test binary.
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn serialize() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_parsing_accepts_components_and_ignores_junk() {
+        assert_eq!(parse_mask(""), 0);
+        assert_eq!(parse_mask("metric"), METRICS);
+        assert_eq!(parse_mask("spans"), SPANS);
+        assert_eq!(parse_mask("span,metric"), ALL);
+        assert_eq!(parse_mask(" span , metrics "), ALL);
+        assert_eq!(parse_mask("all"), ALL);
+        assert_eq!(parse_mask("1"), ALL);
+        assert_eq!(parse_mask("banana"), 0);
+        assert_eq!(parse_mask("banana,span"), SPANS);
+    }
+
+    #[test]
+    fn enable_mask_round_trips() {
+        let _guard = test_support::serialize();
+        set_enabled(METRICS);
+        assert!(enabled(METRICS));
+        assert!(!enabled(SPANS));
+        assert!(enabled(ALL), "any-bit semantics");
+        set_enabled(0);
+        assert!(!enabled(ALL));
+    }
+}

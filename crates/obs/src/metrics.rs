@@ -1,0 +1,289 @@
+//! Static instruments: [`Counter`], [`Gauge`], and [`Histogram`].
+//!
+//! All three are designed to be declared as `static` items (`new` is
+//! `const`) and to cost one relaxed atomic load + branch when the
+//! [`crate::METRICS`] bit is off. On the first *enabled*
+//! touch an instrument registers itself with the global
+//! [`Registry`](crate::Registry), so snapshots only ever list
+//! instruments that actually fired.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::registry;
+use crate::{enabled, METRICS};
+
+/// A monotonically increasing event count (chunks decoded, cache hits,
+/// bytes read, ...). Exact: no sampling, no saturation below `u64::MAX`.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Create an unregistered counter. `const`, so counters live in
+    /// `static` items next to the code they instrument.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The name the counter registers and snapshots under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n` to the counter. A no-op (one relaxed load + branch) when
+    /// metrics are disabled.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled(METRICS) {
+            return;
+        }
+        self.ensure_registered();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// [`add`](Counter::add)`(1)`.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value (reads even while disabled).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+
+    fn ensure_registered(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            registry::register_counter(self);
+        }
+    }
+}
+
+/// A point-in-time signed level (cache entries, heap size, queue
+/// depth). Snapshots report the last value set.
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// Create an unregistered gauge (`const`; see [`Counter::new`]).
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            value: AtomicI64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The name the gauge registers and snapshots under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Set the level. A no-op when metrics are disabled.
+    #[inline]
+    pub fn set(&'static self, v: i64) {
+        if !enabled(METRICS) {
+            return;
+        }
+        self.ensure_registered();
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value (reads even while disabled).
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+
+    fn ensure_registered(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            registry::register_gauge(self);
+        }
+    }
+}
+
+/// An exact-sample latency/size distribution. Samples are kept raw and
+/// sorted only at snapshot time, where quantiles are finalized with the
+/// same nearest-rank rule as `swim_core::stats::Ecdf::quantile`
+/// ([`quantile_of_sorted`]).
+pub struct Histogram {
+    name: &'static str,
+    samples: Mutex<Vec<u64>>,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// Create an unregistered histogram (`const`; see [`Counter::new`]).
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            samples: Mutex::new(Vec::new()),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The name the histogram registers and snapshots under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one sample. A no-op when metrics are disabled; otherwise
+    /// takes a short mutex and pushes the raw value.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !enabled(METRICS) {
+            return;
+        }
+        self.ensure_registered();
+        self.lock().push(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// A sorted copy of the raw samples.
+    pub fn sorted_samples(&self) -> Vec<u64> {
+        let mut samples = self.lock().clone();
+        samples.sort_unstable();
+        samples
+    }
+
+    /// Nearest-rank quantile over the recorded samples (`None` when
+    /// empty). Matches `Ecdf::quantile` bit-for-bit for the same data.
+    pub fn quantile(&self, p: f64) -> Option<u64> {
+        quantile_of_sorted(&self.sorted_samples(), p)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<u64>> {
+        self.samples
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn ensure_registered(&'static self) {
+        if self
+            .registered
+            .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            registry::register_histogram(self);
+        }
+    }
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice, or `None` when
+/// the slice is empty.
+///
+/// This is the exact rule of `swim_core::stats::Ecdf::quantile` (which
+/// panics on empty input instead): clamp `p` to `[0, 1]`; `p == 0`
+/// selects the minimum; otherwise select rank `ceil(p * n)` (1-based,
+/// clamped to `[1, n]`). `u64 -> f64` never reorders values for the
+/// magnitudes involved, so agreement is bit-for-bit — property-tested
+/// in `tests/histogram_ecdf.rs`.
+pub fn quantile_of_sorted(sorted: &[u64], p: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let p = p.clamp(0.0, 1.0);
+    if p == 0.0 {
+        return Some(sorted[0]);
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+    use crate::{set_enabled, ALL};
+
+    static DISABLED_COUNTER: Counter = Counter::new("test.metrics.disabled_counter");
+    static LIVE_COUNTER: Counter = Counter::new("test.metrics.live_counter");
+    static LIVE_GAUGE: Gauge = Gauge::new("test.metrics.live_gauge");
+    static LIVE_HISTOGRAM: Histogram = Histogram::new("test.metrics.live_histogram");
+
+    #[test]
+    fn disabled_instruments_record_nothing() {
+        let _guard = test_support::serialize();
+        set_enabled(0);
+        DISABLED_COUNTER.add(41);
+        DISABLED_COUNTER.incr();
+        assert_eq!(DISABLED_COUNTER.get(), 0);
+    }
+
+    #[test]
+    fn enabled_instruments_accumulate() {
+        let _guard = test_support::serialize();
+        set_enabled(ALL);
+        LIVE_COUNTER.add(2);
+        LIVE_COUNTER.incr();
+        LIVE_GAUGE.set(-7);
+        LIVE_HISTOGRAM.record(30);
+        LIVE_HISTOGRAM.record(10);
+        LIVE_HISTOGRAM.record(20);
+        set_enabled(0);
+
+        assert_eq!(LIVE_COUNTER.get(), 3);
+        assert_eq!(LIVE_GAUGE.get(), -7);
+        assert_eq!(LIVE_HISTOGRAM.len(), 3);
+        assert_eq!(LIVE_HISTOGRAM.sorted_samples(), vec![10, 20, 30]);
+        assert_eq!(LIVE_HISTOGRAM.quantile(0.5), Some(20));
+
+        LIVE_COUNTER.reset();
+        LIVE_GAUGE.reset();
+        LIVE_HISTOGRAM.reset();
+        assert_eq!(LIVE_COUNTER.get(), 0);
+        assert!(LIVE_HISTOGRAM.is_empty());
+    }
+
+    #[test]
+    fn quantile_of_sorted_edge_cases() {
+        assert_eq!(quantile_of_sorted(&[], 0.5), None);
+        assert_eq!(quantile_of_sorted(&[9], 0.0), Some(9));
+        assert_eq!(quantile_of_sorted(&[9], 1.0), Some(9));
+        assert_eq!(quantile_of_sorted(&[1, 2], 0.0), Some(1));
+        assert_eq!(quantile_of_sorted(&[1, 2], 0.5), Some(1));
+        assert_eq!(quantile_of_sorted(&[1, 2], 0.51), Some(2));
+        assert_eq!(quantile_of_sorted(&[1, 2], 1.0), Some(2));
+        // Out-of-range p clamps rather than panics.
+        assert_eq!(quantile_of_sorted(&[1, 2, 3], -0.5), Some(1));
+        assert_eq!(quantile_of_sorted(&[1, 2, 3], 1.5), Some(3));
+    }
+}

@@ -1,0 +1,278 @@
+//! The process-wide registry and its plain-data [`Snapshot`].
+//!
+//! Instruments register themselves on first enabled touch (see
+//! [`crate::metrics`]); spans aggregate here keyed by their `/`-joined
+//! path. [`snapshot`] freezes everything into sorted, owned data that
+//! renderers (swim-query `--profile`, `swim-catalog stats --metrics`,
+//! the JSONL sink) can consume without holding any lock.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::metrics::{quantile_of_sorted, Counter, Gauge, Histogram};
+
+/// Aggregated statistics for one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct SpanStat {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// The global registry: every registered instrument plus the span
+/// aggregation map. One per process, behind [`snapshot`] / [`reset`].
+#[derive(Default)]
+pub struct Registry {
+    counters: Vec<&'static Counter>,
+    gauges: Vec<&'static Gauge>,
+    histograms: Vec<&'static Histogram>,
+    spans: BTreeMap<String, SpanStat>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    let mut guard = REGISTRY
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+pub(crate) fn register_counter(counter: &'static Counter) {
+    with_registry(|r| r.counters.push(counter));
+}
+
+pub(crate) fn register_gauge(gauge: &'static Gauge) {
+    with_registry(|r| r.gauges.push(gauge));
+}
+
+pub(crate) fn register_histogram(histogram: &'static Histogram) {
+    with_registry(|r| r.histograms.push(histogram));
+}
+
+pub(crate) fn record_span(path: &str, elapsed: Duration) {
+    let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+    with_registry(|r| {
+        let stat = r.spans.entry(path.to_owned()).or_default();
+        if stat.count == 0 {
+            stat.min_ns = ns;
+            stat.max_ns = ns;
+        } else {
+            stat.min_ns = stat.min_ns.min(ns);
+            stat.max_ns = stat.max_ns.max(ns);
+        }
+        stat.count += 1;
+        stat.total_ns += ns;
+    });
+}
+
+/// Zero every registered counter and gauge, clear histogram samples and
+/// span statistics. Instruments stay registered; `--profile` calls this
+/// before executing so the snapshot covers exactly one query.
+pub fn reset() {
+    with_registry(|r| {
+        for c in &r.counters {
+            c.reset();
+        }
+        for g in &r.gauges {
+            g.reset();
+        }
+        for h in &r.histograms {
+            h.reset();
+        }
+        r.spans.clear();
+    });
+}
+
+/// Aggregated statistics for one span path, frozen into a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSample {
+    /// `/`-joined span path, e.g. `"query.execute/store.decode_chunk"`.
+    pub path: String,
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Sum of elapsed nanoseconds across closures.
+    pub total_ns: u64,
+    /// Fastest single closure, in nanoseconds.
+    pub min_ns: u64,
+    /// Slowest single closure, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Summary of one histogram, finalized with the `Ecdf::quantile`
+/// nearest-rank rule. Quantile fields are `None` when no samples were
+/// recorded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Instrument name.
+    pub name: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Minimum sample.
+    pub min: Option<u64>,
+    /// Nearest-rank median.
+    pub p50: Option<u64>,
+    /// Nearest-rank 90th percentile.
+    pub p90: Option<u64>,
+    /// Nearest-rank 99th percentile.
+    pub p99: Option<u64>,
+    /// Maximum sample.
+    pub max: Option<u64>,
+}
+
+/// A frozen, lock-free view of the registry: counters/gauges sorted by
+/// name, histograms finalized, spans sorted by path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` for every registered counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Finalized histograms, sorted by name.
+    pub histograms: Vec<HistogramSample>,
+    /// Span statistics, sorted by path.
+    pub spans: Vec<SpanSample>,
+}
+
+impl Snapshot {
+    /// Value of the named counter, if it registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of the named gauge, if it registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Statistics for the named span path, if it recorded.
+    pub fn span(&self, path: &str) -> Option<&SpanSample> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// `true` when nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+}
+
+/// Freeze the registry into a [`Snapshot`].
+pub fn snapshot() -> Snapshot {
+    with_registry(|r| {
+        let mut counters: Vec<(String, u64)> = r
+            .counters
+            .iter()
+            .map(|c| (c.name().to_owned(), c.get()))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, i64)> = r
+            .gauges
+            .iter()
+            .map(|g| (g.name().to_owned(), g.get()))
+            .collect();
+        gauges.sort();
+        let mut histograms: Vec<HistogramSample> = r
+            .histograms
+            .iter()
+            .map(|h| {
+                let sorted = h.sorted_samples();
+                HistogramSample {
+                    name: h.name().to_owned(),
+                    count: sorted.len() as u64,
+                    sum: sorted.iter().sum(),
+                    min: sorted.first().copied(),
+                    p50: quantile_of_sorted(&sorted, 0.5),
+                    p90: quantile_of_sorted(&sorted, 0.9),
+                    p99: quantile_of_sorted(&sorted, 0.99),
+                    max: sorted.last().copied(),
+                }
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        let spans = r
+            .spans
+            .iter()
+            .map(|(path, stat)| SpanSample {
+                path: path.clone(),
+                count: stat.count,
+                total_ns: stat.total_ns,
+                min_ns: stat.min_ns,
+                max_ns: stat.max_ns,
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+    use crate::{set_enabled, ALL};
+
+    static SNAP_COUNTER: Counter = Counter::new("test.registry.counter");
+    static SNAP_GAUGE: Gauge = Gauge::new("test.registry.gauge");
+    static SNAP_HISTOGRAM: Histogram = Histogram::new("test.registry.histogram");
+
+    #[test]
+    fn snapshot_freezes_sorted_data_and_reset_zeroes() {
+        let _guard = test_support::serialize();
+        set_enabled(ALL);
+        SNAP_COUNTER.add(5);
+        SNAP_GAUGE.set(11);
+        for v in [4u64, 1, 3, 2] {
+            SNAP_HISTOGRAM.record(v);
+        }
+        record_span("test.registry.span", Duration::from_nanos(100));
+        record_span("test.registry.span", Duration::from_nanos(300));
+        set_enabled(0);
+
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.registry.counter"), Some(5));
+        assert_eq!(snap.gauge("test.registry.gauge"), Some(11));
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.registry.histogram")
+            .unwrap();
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.sum, 10);
+        assert_eq!(hist.min, Some(1));
+        assert_eq!(hist.p50, Some(2));
+        assert_eq!(hist.max, Some(4));
+        let span = snap.span("test.registry.span").unwrap();
+        assert_eq!(span.count, 2);
+        assert_eq!(span.total_ns, 400);
+        assert_eq!(span.min_ns, 100);
+        assert_eq!(span.max_ns, 300);
+        assert!(snap.counters.windows(2).all(|w| w[0].0 <= w[1].0));
+
+        reset();
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.registry.counter"), Some(0));
+        assert_eq!(snap.gauge("test.registry.gauge"), Some(0));
+        assert!(snap.span("test.registry.span").is_none());
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.registry.histogram")
+            .unwrap();
+        assert_eq!(hist.count, 0);
+        assert_eq!(hist.p50, None);
+    }
+}

@@ -8,17 +8,23 @@
 //!            [--where "input > 1gb and duration < 2h"] \
 //!            [--group-by "submit/3600"] \
 //!            [--order-by N] [--desc] [--limit N] \
-//!            [--format table|md|json] [--serial]
+//!            [--format table|md|json] [--serial] [--explain | --profile]
 //! swim-query --catalog dataset.d --select count [--where …] […]
 //! ```
 //!
 //! The query flag set is shared with `swim-catalog query`
 //! ([`swim_query::cli`]). Results go to stdout; the scan/pruning summary
 //! goes to stderr (so `--format json` output stays machine-parseable).
+//!
+//! `--explain` prints the plan tree and zone-map verdict counts without
+//! executing; `--profile` executes with all `swim-obs` instrumentation
+//! forced on and appends the collected metrics. Setting `SWIM_OBS`
+//! (`metric`,`span`,`all`) enables instrumentation without `--profile`,
+//! and `SWIM_OBS_JSONL=FILE` appends the final snapshot as JSON lines.
 
 use std::process::ExitCode;
 use swim_catalog::Catalog;
-use swim_query::{cli, execute, execute_serial, CatalogQuery};
+use swim_query::{cli, execute, execute_serial, explain_catalog, explain_store, CatalogQuery};
 use swim_store::Store;
 
 struct Args {
@@ -29,7 +35,10 @@ struct Args {
 
 const USAGE: &str = "usage: swim-query (--trace TRACE.swim | --catalog DIR) --select AGGS \
  [--where PRED] [--group-by EXPRS] [--order-by N] [--desc] [--limit N] \
- [--format table|md|json] [--serial]\n\
+ [--format table|md|json] [--serial] [--explain | --profile]\n\
+ --explain prints the plan tree and zone-map verdict counts \
+ (never/always/maybe) without executing; --profile executes with \
+ swim-obs instrumentation forced on and appends the metrics\n\
  --catalog runs the query federated over every shard of a swim-catalog \
  directory (shard-level zone pruning, then per-chunk)\n\
  columns: id submit duration input shuffle output map_time reduce_time \
@@ -98,6 +107,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(msg) = args.flags.validate() {
+        eprintln!("error: {msg}\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
     let query = match args.flags.build_query() {
         Ok(q) => q,
         Err(msg) => {
@@ -105,6 +118,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    swim_obs::init_from_env();
+    if args.flags.profile {
+        // Profiling owns the whole process: force everything on and
+        // start from zero so the printed counters cover exactly this
+        // query.
+        swim_obs::set_enabled(swim_obs::ALL);
+        swim_obs::reset();
+    }
     // Federated path: every shard of a catalog directory, pruned at the
     // shard level before any file is opened.
     if !args.catalog.is_empty() {
@@ -115,6 +136,22 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if args.flags.explain {
+            return match explain_catalog(&catalog, &query) {
+                Ok(explain) => {
+                    let title = format!("explain: {}", args.catalog);
+                    print!(
+                        "{}",
+                        cli::render_explain(&explain, args.flags.format, &title)
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         let result = if args.flags.serial {
             catalog.execute_serial(&query)
         } else {
@@ -138,6 +175,7 @@ fn main() -> ExitCode {
             catalog.generation(),
             catalog.job_count()
         );
+        finish_profile(&args.flags);
         return ExitCode::SUCCESS;
     }
     let store = match Store::open(&args.trace) {
@@ -147,6 +185,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.flags.explain {
+        return match explain_store(&store, &args.trace, &query) {
+            Ok(explain) => {
+                let title = format!("explain: {}", args.trace);
+                print!(
+                    "{}",
+                    cli::render_explain(&explain, args.flags.format, &title)
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let result = if args.flags.serial {
         execute_serial(&store, &query)
     } else {
@@ -167,5 +221,23 @@ fn main() -> ExitCode {
         store.format_version(),
         store.job_count()
     );
+    finish_profile(&args.flags);
     ExitCode::SUCCESS
+}
+
+/// Print `--profile` metrics to stdout (below the query result) and
+/// honour `SWIM_OBS_JSONL` regardless of flags.
+fn finish_profile(flags: &cli::QueryFlags) {
+    let snap = swim_obs::snapshot();
+    if flags.profile {
+        let sep = match flags.format {
+            // JSON lines follow the result object directly.
+            cli::OutputFormat::Json => "",
+            _ => "\n",
+        };
+        print!("{sep}{}", cli::render_profile(&snap, flags.format));
+    }
+    if let Err(e) = swim_obs::jsonl::append_env(&snap) {
+        eprintln!("warning: SWIM_OBS_JSONL: {e}");
+    }
 }

@@ -2,13 +2,18 @@
 //!
 //! `swim-query` and `swim-catalog query` accept the same flag set
 //! (`--select/--where/--group-by/--order-by/--desc/--limit/--format/
-//! --serial`); this module owns the parsing, validation, and renderer
-//! dispatch for it so the two CLIs cannot drift apart. Error messages
-//! are pinned by `crates/query/tests/cli_errors.rs`.
+//! --serial/--explain/--profile`); this module owns the parsing,
+//! validation, and renderer dispatch for it so the two CLIs cannot
+//! drift apart. Error messages are pinned by
+//! `crates/query/tests/cli_errors.rs`.
 
 use crate::exec::QueryOutput;
+use crate::explain::Explain;
 use crate::plan::Query;
 use crate::{parse, render};
+use swim_report::doc::KeyValueBlock;
+use swim_report::render::Table;
+use swim_report::{Block, Section};
 
 /// Output rendering selected by `--format`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,6 +54,12 @@ pub struct QueryFlags {
     pub format: OutputFormat,
     /// `--serial`: single-threaded execution (bit-identical output).
     pub serial: bool,
+    /// `--explain`: print the plan and zone-map verdicts, execute
+    /// nothing.
+    pub explain: bool,
+    /// `--profile`: execute with all instrumentation forced on, then
+    /// print the collected metrics.
+    pub profile: bool,
 }
 
 impl QueryFlags {
@@ -87,9 +98,22 @@ impl QueryFlags {
             }
             "--format" => self.format = OutputFormat::parse(&next()?)?,
             "--serial" => self.serial = true,
+            "--explain" => self.explain = true,
+            "--profile" => self.profile = true,
             _ => return Ok(false),
         }
         Ok(true)
+    }
+
+    /// Cross-flag validation, called once the whole command line is
+    /// parsed.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.explain && self.profile {
+            return Err(
+                "--explain and --profile are mutually exclusive (explain never executes)".into(),
+            );
+        }
+        Ok(())
     }
 
     /// Build the typed query from the accumulated flag text.
@@ -123,6 +147,97 @@ pub fn render_for(output: &QueryOutput, format: OutputFormat, title: &str) -> St
             out.push('\n');
             out
         }
+    }
+}
+
+/// Render an [`Explain`] for the selected format (same dispatch as
+/// [`render_for`]; JSON carries its trailing newline here).
+pub fn render_explain(explain: &Explain, format: OutputFormat, title: &str) -> String {
+    match format {
+        OutputFormat::Table => explain.render_text(title),
+        OutputFormat::Markdown => explain.render_markdown(title),
+        OutputFormat::Json => {
+            let mut out = explain.render_json();
+            out.push('\n');
+            out
+        }
+    }
+}
+
+/// Render a `--profile` metrics snapshot for the selected format.
+///
+/// Table and Markdown get a report section: counters and gauges as
+/// key/value pairs (deterministic for a deterministic workload), then
+/// span and histogram tables (wall-clock timings, inherently not).
+/// JSON gets the snapshot as JSON lines ([`swim_obs::jsonl`]), one
+/// object per instrument, appended after the result object.
+pub fn render_profile(snapshot: &swim_obs::Snapshot, format: OutputFormat) -> String {
+    if let OutputFormat::Json = format {
+        return swim_obs::jsonl::to_jsonl(snapshot);
+    }
+    let mut section = Section::new("profile (swim-obs)");
+    let mut pairs: Vec<(String, String)> = snapshot
+        .counters
+        .iter()
+        .map(|(name, value)| (name.clone(), value.to_string()))
+        .collect();
+    pairs.extend(
+        snapshot
+            .gauges
+            .iter()
+            .map(|(name, value)| (name.clone(), value.to_string())),
+    );
+    if !pairs.is_empty() {
+        let key_width = pairs.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        section.push(Block::KeyValue(KeyValueBlock::new(pairs, key_width)));
+    }
+    if !snapshot.spans.is_empty() {
+        let mut table = Table::new(vec!["span", "count", "total_us", "min_us", "max_us"]);
+        for span in &snapshot.spans {
+            table.row(vec![
+                span.path.clone(),
+                span.count.to_string(),
+                (span.total_ns / 1_000).to_string(),
+                (span.min_ns / 1_000).to_string(),
+                (span.max_ns / 1_000).to_string(),
+            ]);
+        }
+        section.captioned_table("\nspans", table);
+    }
+    if !snapshot.histograms.is_empty() {
+        let cell = |v: Option<u64>| v.map_or_else(|| "-".to_owned(), |v| v.to_string());
+        let mut table = Table::new(vec![
+            "histogram",
+            "count",
+            "min",
+            "p50",
+            "p90",
+            "p99",
+            "max",
+        ]);
+        for h in &snapshot.histograms {
+            table.row(vec![
+                h.name.clone(),
+                h.count.to_string(),
+                cell(h.min),
+                cell(h.p50),
+                cell(h.p90),
+                cell(h.p99),
+                cell(h.max),
+            ]);
+        }
+        section.captioned_table("\nhistograms", table);
+    }
+    if section.blocks.is_empty() {
+        section.prose("(no instruments fired)\n");
+    }
+    match format {
+        OutputFormat::Markdown => {
+            let mut report = swim_report::Report::new("profile");
+            report.push(section);
+            swim_report::markdown::render_report(&report)
+        }
+        _ => section.render_text(),
     }
 }
 

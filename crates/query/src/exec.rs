@@ -235,6 +235,7 @@ pub(crate) fn stats_for(p: &crate::plan::Plan) -> ExecStats {
 /// counter ([`Store::par_fold_columns`]) and per-worker group tables are
 /// merged exactly. Bit-identical to [`execute_serial`].
 pub fn execute(store: &Store, query: &Query) -> Result<QueryOutput, QueryError> {
+    let _span = swim_obs::span("query.execute");
     query.validate()?;
     let p = plan(store, query);
     let mut stats = stats_for(&p);
@@ -243,6 +244,7 @@ pub fn execute(store: &Store, query: &Query) -> Result<QueryOutput, QueryError> 
         &p.selected,
         Acc::new,
         |mut acc, idx, cols| {
+            crate::obs::CHUNK_CLAIMS.incr();
             fold_chunk(&mut acc, query, cols, full_match[idx]);
             acc
         },
@@ -253,6 +255,7 @@ pub fn execute(store: &Store, query: &Query) -> Result<QueryOutput, QueryError> 
     )?;
     stats.rows_scanned = acc.rows_scanned;
     stats.rows_matched = acc.rows_matched;
+    crate::obs::record_rows(acc.rows_scanned, acc.rows_matched);
     Ok(finalize(query, acc, stats))
 }
 
@@ -260,6 +263,7 @@ pub fn execute(store: &Store, query: &Query) -> Result<QueryOutput, QueryError> 
 /// implementation for determinism tests — and the faster choice for tiny
 /// stores.
 pub fn execute_serial(store: &Store, query: &Query) -> Result<QueryOutput, QueryError> {
+    let _span = swim_obs::span("query.execute_serial");
     query.validate()?;
     let p = plan(store, query);
     let mut stats = stats_for(&p);
@@ -270,6 +274,7 @@ pub fn execute_serial(store: &Store, query: &Query) -> Result<QueryOutput, Query
     })?;
     stats.rows_scanned = acc.rows_scanned;
     stats.rows_matched = acc.rows_matched;
+    crate::obs::record_rows(acc.rows_scanned, acc.rows_matched);
     Ok(finalize(query, acc, stats))
 }
 

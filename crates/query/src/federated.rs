@@ -74,13 +74,16 @@ pub trait CatalogQuery {
 
 /// Shard indices that survive manifest-level pruning.
 fn prune_shards(catalog: &Catalog, query: &Query) -> Vec<usize> {
-    catalog
+    let selected: Vec<usize> = catalog
         .shards()
         .iter()
         .enumerate()
         .filter(|(_, entry)| query.predicate.zone_verdict(&entry.zone) != Tri::Never)
         .map(|(idx, _)| idx)
-        .collect()
+        .collect();
+    crate::obs::SHARDS_SCANNED.add(selected.len() as u64);
+    crate::obs::SHARDS_PRUNED.add((catalog.shard_count() - selected.len()) as u64);
+    selected
 }
 
 /// Open, chunk-plan, and fold one shard.
@@ -136,6 +139,7 @@ fn finalize_catalog(
     acc: Acc,
     stats: ExecStats,
 ) -> CatalogOutput {
+    crate::obs::record_rows(stats.rows_scanned, stats.rows_matched);
     CatalogOutput {
         output: crate::exec::finalize(query, acc, stats),
         shards_total: catalog.shard_count(),
@@ -146,6 +150,7 @@ fn finalize_catalog(
 
 impl CatalogQuery for Catalog {
     fn execute(&self, query: &Query) -> Result<CatalogOutput, QueryError> {
+        let _span = swim_obs::span("query.federated");
         query.validate()?;
         let selected = prune_shards(self, query);
         if selected.is_empty() {
@@ -207,6 +212,7 @@ impl CatalogQuery for Catalog {
     }
 
     fn execute_serial(&self, query: &Query) -> Result<CatalogOutput, QueryError> {
+        let _span = swim_obs::span("query.federated_serial");
         query.validate()?;
         let selected = prune_shards(self, query);
         let mut acc = Acc::new();

@@ -78,14 +78,17 @@
 pub mod agg;
 pub mod cli;
 pub mod exec;
+pub mod explain;
 pub mod expr;
 pub mod federated;
+mod obs;
 pub mod parse;
 pub mod plan;
 pub mod render;
 
 pub use agg::{AggValue, Aggregate};
 pub use exec::{execute, execute_serial, ExecStats, QueryOutput, Row};
+pub use explain::{explain_catalog, explain_store, Explain, StoreExplain, VerdictCounts};
 pub use expr::{CmpOp, Col, Expr, Pred, Tri, Values};
 pub use federated::{CatalogOutput, CatalogQuery};
 pub use plan::{plan, OrderBy, Plan, Query};

@@ -153,16 +153,24 @@ pub fn plan(store: &Store, query: &Query) -> Plan {
     let zones = store.zone_maps();
     let mut selected = Vec::with_capacity(zones.len());
     let mut full_match = vec![false; zones.len()];
+    let (mut never, mut always, mut maybe) = (0u64, 0u64, 0u64);
     for (idx, zone) in zones.iter().enumerate() {
         match query.predicate.zone_verdict(zone) {
-            Tri::Never => {}
-            Tri::Maybe => selected.push(idx),
+            Tri::Never => never += 1,
+            Tri::Maybe => {
+                maybe += 1;
+                selected.push(idx);
+            }
             Tri::Always => {
+                always += 1;
                 full_match[idx] = true;
                 selected.push(idx);
             }
         }
     }
+    crate::obs::VERDICT_NEVER.add(never);
+    crate::obs::VERDICT_ALWAYS.add(always);
+    crate::obs::VERDICT_MAYBE.add(maybe);
     Plan {
         selected,
         full_match,

@@ -1,0 +1,163 @@
+//! Golden pins for `swim-query --explain` over the two frozen fixtures
+//! (`crates/store/tests/fixtures/v1-multichunk.swim`, format v1, and
+//! `testdata/sample-b.swim`, format v2), plus the acceptance
+//! cross-check: the chunk verdict counts `--explain` *predicts* must
+//! equal the decode counters `--profile` *observes* for the same query.
+//!
+//! Regenerate after an intentional output change with
+//!
+//! ```sh
+//! SWIM_REGEN_GOLDEN=1 cargo test -p swim-query --test explain_golden
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The workspace root: fixture paths are passed relative to it so the
+/// golden output (which echoes the path) is machine-independent.
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+const V1_FIXTURE: &str = "crates/store/tests/fixtures/v1-multichunk.swim";
+const V2_FIXTURE: &str = "testdata/sample-b.swim";
+const QUERY_ARGS: &[&str] = &[
+    "--select",
+    "count,sum(total_io),p50(duration)",
+    "--where",
+    "submit < 12h",
+    "--group-by",
+    "submit/3600",
+];
+
+/// Run `swim-query` from the workspace root, returning stdout.
+fn swim_query(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_swim-query"))
+        .current_dir(repo_root())
+        .env_remove("SWIM_OBS")
+        .env_remove("SWIM_OBS_JSONL")
+        .args(args)
+        .output()
+        .expect("swim-query runs");
+    assert!(
+        out.status.success(),
+        "swim-query {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+fn check_golden(name: &str, got: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("SWIM_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        got,
+        golden,
+        "--explain output drifted from {} (SWIM_REGEN_GOLDEN=1 to regenerate)",
+        path.display()
+    );
+}
+
+/// Pull `key: value` out of the `--profile` counter block.
+fn profile_counter(profile_stdout: &str, name: &str) -> u64 {
+    profile_stdout
+        .lines()
+        .find_map(|line| {
+            let (key, value) = line.split_once(':')?;
+            (key.trim() == name).then(|| value.trim().parse().expect("counter is a u64"))
+        })
+        .unwrap_or_else(|| panic!("counter {name} not in profile output:\n{profile_stdout}"))
+}
+
+/// Pull a field out of the fixed-shape `--format json` explain object's
+/// `"chunks"` summary.
+fn explain_chunk_field(explain_json: &str, field: &str) -> u64 {
+    let chunks = explain_json
+        .rsplit("\"chunks\":")
+        .next()
+        .expect("chunks object");
+    let tagged = format!("\"{field}\":");
+    let rest = &chunks[chunks.find(&tagged).expect("field present") + tagged.len()..];
+    rest.split(|c: char| !c.is_ascii_digit())
+        .next()
+        .and_then(|n| n.parse().ok())
+        .expect("field is a u64")
+}
+
+#[test]
+fn explain_v1_fixture_matches_golden() {
+    let mut args = vec!["--trace", V1_FIXTURE];
+    args.extend_from_slice(QUERY_ARGS);
+    args.push("--explain");
+    check_golden("explain-v1.txt", &swim_query(&args));
+
+    args.extend_from_slice(&["--format", "json"]);
+    check_golden("explain-v1.json", &swim_query(&args));
+}
+
+#[test]
+fn explain_v2_fixture_matches_golden() {
+    let mut args = vec!["--trace", V2_FIXTURE];
+    args.extend_from_slice(QUERY_ARGS);
+    args.push("--explain");
+    check_golden("explain-v2.txt", &swim_query(&args));
+}
+
+/// The acceptance invariant: for the same query, the chunks `--explain`
+/// says execution *would* decode (`always + maybe`) are exactly the
+/// chunks `--profile` counts as decoded (`store.chunks_decoded`), and
+/// the per-verdict planner counters agree with the explain split.
+#[test]
+fn explain_verdicts_match_profile_decode_counters() {
+    for fixture in [V1_FIXTURE, V2_FIXTURE] {
+        let mut explain_args = vec!["--trace", fixture];
+        explain_args.extend_from_slice(QUERY_ARGS);
+        explain_args.extend_from_slice(&["--explain", "--format", "json"]);
+        let explain = swim_query(&explain_args);
+
+        let mut profile_args = vec!["--trace", fixture];
+        profile_args.extend_from_slice(QUERY_ARGS);
+        profile_args.extend_from_slice(&["--profile", "--serial"]);
+        let profile = swim_query(&profile_args);
+
+        for (explain_field, counter) in [
+            ("scanned", "store.chunks_decoded"),
+            ("never", "query.verdict_never"),
+            ("always", "query.verdict_always"),
+            ("maybe", "query.verdict_maybe"),
+        ] {
+            assert_eq!(
+                explain_chunk_field(&explain, explain_field),
+                profile_counter(&profile, counter),
+                "{fixture}: explain {explain_field} vs profile {counter}"
+            );
+        }
+    }
+}
+
+/// `--explain` must refuse to also `--profile` (it never executes).
+#[test]
+fn explain_and_profile_are_mutually_exclusive() {
+    let out = Command::new(env!("CARGO_BIN_EXE_swim-query"))
+        .current_dir(repo_root())
+        .args(["--trace", V1_FIXTURE, "--explain", "--profile"])
+        .output()
+        .expect("swim-query runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"),
+        "unexpected stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

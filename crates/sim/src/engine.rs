@@ -45,6 +45,21 @@ use swim_synth::ReplayJob;
 use swim_synth::ReplayPlan;
 use swim_trace::{DataSize, Dur, PathId, Timestamp};
 
+/// swim-obs instruments for the simulator. Tallies accumulate in locals
+/// inside the event loop and are added here once per run, so enabling
+/// metrics costs nothing on the hot path.
+mod obs {
+    use swim_obs::Counter;
+
+    /// Heap events processed (submissions + wave finishes).
+    pub static HEAP_EVENTS: Counter = Counter::new("sim.heap_events");
+    /// Wave-finish events alone — the wave-coalescing win is
+    /// `sim.heap_events` vs tasks.
+    pub static WAVE_EVENTS: Counter = Counter::new("sim.wave_events");
+    /// Jobs driven to completion.
+    pub static JOBS_REPLAYED: Counter = Counter::new("sim.jobs_replayed");
+}
+
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -246,6 +261,7 @@ impl Simulator {
     /// which makes every cache access a cold miss — the correct null model
     /// for a plan without path information.
     pub fn run(&self, plan: &ReplayPlan, input_paths: Option<&[PathId]>) -> SimResult {
+        let _span = swim_obs::span("sim.run");
         let mut hdfs = Hdfs::new(self.config.hdfs);
         if let Some((policy, capacity)) = self.config.cache {
             hdfs = hdfs.with_cache(policy, capacity);
@@ -263,6 +279,7 @@ impl Simulator {
         let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(plan.len());
         let mut now = Timestamp::ZERO;
         let mut events: u64 = 0;
+        let mut wave_events: u64 = 0;
 
         while let Some((at, event)) = queue.pop() {
             now = at;
@@ -281,6 +298,7 @@ impl Simulator {
                     }
                 }
                 Event::WaveFinish { job, is_map, count } => {
+                    wave_events += 1;
                     let js = &mut jobs[job];
                     if is_map {
                         js.running_map -= count;
@@ -308,6 +326,11 @@ impl Simulator {
         }
 
         outcomes.sort_by_key(|o| o.job);
+        // Aggregate tallies land in swim-obs once per run: the hot event
+        // loop above touches only the two local integers.
+        obs::HEAP_EVENTS.add(events);
+        obs::WAVE_EVENTS.add(wave_events);
+        obs::JOBS_REPLAYED.add(outcomes.len() as u64);
         SimResult {
             hourly_utilization: util.hourly_average_slots(),
             cache: hdfs.cache_stats(),

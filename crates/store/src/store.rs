@@ -12,6 +12,24 @@ use std::sync::Arc;
 use swim_trace::trace::WorkloadKind;
 use swim_trace::{DataSize, Dur, Job, Timestamp, Trace, TraceSummary};
 
+/// swim-obs instruments for the store layer. Counter names are part of
+/// the observable surface (`swim-query --profile`, the JSONL sink), so
+/// treat them as API.
+mod obs {
+    use swim_obs::Counter;
+
+    /// Bytes fetched through [`super::ReadHandle::read_span`] — every
+    /// disk or in-memory read the store performs, including headers,
+    /// footers, and chunk blocks.
+    pub static BYTES_READ: Counter = Counter::new("store.bytes_read");
+    /// Chunks whose payload was actually decoded (full-row or numeric
+    /// column projection alike).
+    pub static CHUNKS_DECODED: Counter = Counter::new("store.chunks_decoded");
+    /// Chunks skipped by a time-range scan's index check before any
+    /// byte of them was read.
+    pub static CHUNKS_RANGE_SKIPPED: Counter = Counter::new("store.chunks_range_skipped");
+}
+
 /// Where the store's bytes live.
 #[derive(Debug, Clone)]
 enum StoreSource {
@@ -35,6 +53,7 @@ impl ReadHandle {
         let len_usize = usize::try_from(len).map_err(|_| StoreError::Corrupt {
             context: "span length overflows usize",
         })?;
+        obs::BYTES_READ.add(len);
         match self {
             ReadHandle::File { file, path } => {
                 let mut buf = vec![0u8; len_usize];
@@ -62,6 +81,19 @@ impl ReadHandle {
             }
         }
     }
+}
+
+/// Decode a chunk payload's numeric column projection, counting the
+/// chunk as decoded and attributing decode time to the
+/// `store.decode_chunk` span. Every numeric decode path funnels through
+/// here so `--profile`'s `store.chunks_decoded` is exact.
+fn decode_numeric_counted(
+    payload: &[u8],
+    job_count: usize,
+) -> Result<format::columns::NumericColumns, StoreError> {
+    let _span = swim_obs::span("store.decode_chunk");
+    obs::CHUNKS_DECODED.incr();
+    format::columns::decode_numeric(payload, job_count)
 }
 
 /// An opened columnar trace store: header + chunk index + stored summary.
@@ -295,6 +327,8 @@ impl Store {
                 context: "chunk job count disagrees with index",
             });
         }
+        let _span = swim_obs::span("store.decode_chunk");
+        obs::CHUNKS_DECODED.incr();
         format::columns::decode(&block[format::CHUNK_HEADER_LEN..], job_count as usize)
     }
 
@@ -333,7 +367,7 @@ impl Store {
         assert!(idx < self.chunks.len(), "chunk index out of range");
         let mut handle = self.new_handle()?;
         let (n, block) = self.read_block_with(&mut handle, idx)?;
-        format::columns::decode_numeric(&block[format::CHUNK_HEADER_LEN..], n)
+        decode_numeric_counted(&block[format::CHUNK_HEADER_LEN..], n)
     }
 
     /// Serial fold over an explicit set of chunks (by index, visited in
@@ -354,7 +388,7 @@ impl Store {
         for &idx in selected {
             assert!(idx < self.chunks.len(), "chunk index out of range");
             let (n, block) = self.read_block_with(&mut handle, idx)?;
-            let cols = format::columns::decode_numeric(&block[format::CHUNK_HEADER_LEN..], n)?;
+            let cols = decode_numeric_counted(&block[format::CHUNK_HEADER_LEN..], n)?;
             acc = fold(acc, idx, &cols);
         }
         Ok(acc)
@@ -383,7 +417,7 @@ impl Store {
             selected,
             init,
             |acc, idx, job_count, payload| {
-                let cols = format::columns::decode_numeric(payload, job_count)?;
+                let cols = decode_numeric_counted(payload, job_count)?;
                 Ok(fold(acc, idx, &cols))
             },
             merge,
@@ -419,6 +453,7 @@ impl Store {
             })
             .collect();
         let skipped = self.chunks.len() - selected.len();
+        obs::CHUNKS_RANGE_SKIPPED.add(skipped as u64);
         Ok(ChunkScan {
             store: self,
             handle: self.new_handle()?,
@@ -557,7 +592,7 @@ impl Store {
             &self.chunks_overlapping(None),
             init,
             |acc, _idx, job_count, payload| {
-                let cols = format::columns::decode_numeric(payload, job_count)?;
+                let cols = decode_numeric_counted(payload, job_count)?;
                 Ok(fold(acc, &cols))
             },
             merge,

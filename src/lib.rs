@@ -29,7 +29,11 @@
 //!   pruning;
 //! * [`report`] — the document model (report → section → block), the
 //!   Markdown/HTML renderers, and the parallel cross-trace comparison
-//!   pipeline behind the `swim-report` binary.
+//!   pipeline behind the `swim-report` binary;
+//! * [`obs`] — the zero-dependency observability layer (counters,
+//!   gauges, nearest-rank histograms, hierarchical timed spans) that
+//!   every other crate instruments its hot paths with, surfaced through
+//!   `swim-query --explain` / `--profile` and a JSONL sink.
 //!
 //! ## Quick start
 //!
@@ -57,6 +61,7 @@
 
 pub use swim_catalog as catalog;
 pub use swim_core as core;
+pub use swim_obs as obs;
 pub use swim_query as query;
 pub use swim_report as report;
 pub use swim_sim as sim;
