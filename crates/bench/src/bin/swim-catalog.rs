@@ -43,10 +43,34 @@ const USAGE: &str = "usage:\n\
  trace formats by extension: .csv (needs --machines), .swim/.store \
  (streamed), anything else JSON-lines";
 
-fn fail(msg: impl std::fmt::Display) -> ExitCode {
-    eprintln!("error: {msg}\n");
-    eprintln!("{USAGE}");
-    ExitCode::FAILURE
+/// CLI failures carry their exit class: malformed invocations (bad
+/// flags, wrong arity, unparsable queries) are usage errors and exit 2
+/// with the usage text; failures of well-formed commands (missing
+/// catalog, I/O, corrupt store, failed execution) are runtime errors
+/// and exit 1 without it. Both start stderr with `error: …`.
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl CliError {
+    fn exit(self) -> ExitCode {
+        match self {
+            CliError::Usage(msg) => {
+                eprintln!("error: {msg}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+            CliError::Runtime(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+/// Shorthand for `map_err` on catalog/store/query operations.
+fn runtime(e: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(e.to_string())
 }
 
 struct OptionFlags {
@@ -116,12 +140,12 @@ fn split_flags(
     Ok((positional, flags))
 }
 
-fn cmd_init(args: &[String]) -> Result<(), String> {
-    let (positional, _) = split_flags(args, &[])?;
+fn cmd_init(args: &[String]) -> Result<(), CliError> {
+    let (positional, _) = split_flags(args, &[]).map_err(CliError::Usage)?;
     let [dir] = positional.as_slice() else {
-        return Err("init takes exactly one directory".into());
+        return Err(CliError::Usage("init takes exactly one directory".into()));
     };
-    let catalog = Catalog::init(dir).map_err(|e| e.to_string())?;
+    let catalog = Catalog::init(dir).map_err(runtime)?;
     eprintln!(
         "initialized empty catalog at {} (generation {})",
         catalog.dir().display(),
@@ -130,7 +154,7 @@ fn cmd_init(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_ingest(args: &[String]) -> Result<(), String> {
+fn cmd_ingest(args: &[String]) -> Result<(), CliError> {
     let (positional, flags) = split_flags(
         args,
         &[
@@ -139,30 +163,37 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
             "--jobs-per-chunk",
             "--adopt",
         ],
-    )?;
+    )
+    .map_err(CliError::Usage)?;
     let [dir, traces @ ..] = positional.as_slice() else {
-        return Err("ingest takes a directory and at least one trace".into());
+        return Err(CliError::Usage(
+            "ingest takes a directory and at least one trace".into(),
+        ));
     };
     if traces.is_empty() {
-        return Err("ingest takes a directory and at least one trace".into());
+        return Err(CliError::Usage(
+            "ingest takes a directory and at least one trace".into(),
+        ));
     }
     if flags.adopt {
         // Adopt copies stores in verbatim — the re-sharding knobs would
         // silently do nothing, so reject the combination.
         for sharding in ["--machines", "--jobs-per-shard", "--jobs-per-chunk"] {
             if flags.seen.contains(&sharding) {
-                return Err(format!("{sharding} has no effect with --adopt (adopt copies stores verbatim as single shards)"));
+                return Err(CliError::Usage(format!(
+                    "{sharding} has no effect with --adopt (adopt copies stores verbatim as single shards)"
+                )));
             }
         }
     }
-    let mut catalog = Catalog::open(dir).map_err(|e| e.to_string())?;
+    let mut catalog = Catalog::open(dir).map_err(runtime)?;
     for path in traces {
         let stats = if flags.adopt {
-            catalog.adopt_store(path).map_err(|e| e.to_string())?
+            catalog.adopt_store(path).map_err(runtime)?
         } else {
             catalog
                 .ingest_path(path, flags.machines, &flags.options)
-                .map_err(|e| e.to_string())?
+                .map_err(runtime)?
         };
         eprintln!(
             "ingested {path}: {} jobs into {} shard{} ({} bytes), generation {}",
@@ -176,12 +207,12 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let (positional, flags) = split_flags(args, &["--metrics"])?;
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
+    let (positional, flags) = split_flags(args, &["--metrics"]).map_err(CliError::Usage)?;
     let [dir] = positional.as_slice() else {
-        return Err("stats takes exactly one directory".into());
+        return Err(CliError::Usage("stats takes exactly one directory".into()));
     };
-    let catalog = Catalog::open(dir).map_err(|e| e.to_string())?;
+    let catalog = Catalog::open(dir).map_err(runtime)?;
     let summary = catalog.summary();
     println!(
         "catalog generation {}: {} shard{}, {} jobs, workload {}, {} machines, length {}",
@@ -237,14 +268,17 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compact(args: &[String]) -> Result<(), String> {
+fn cmd_compact(args: &[String]) -> Result<(), CliError> {
     let (positional, flags) =
-        split_flags(args, &["--jobs-per-shard", "--jobs-per-chunk", "--vacuum"])?;
+        split_flags(args, &["--jobs-per-shard", "--jobs-per-chunk", "--vacuum"])
+            .map_err(CliError::Usage)?;
     let [dir] = positional.as_slice() else {
-        return Err("compact takes exactly one directory".into());
+        return Err(CliError::Usage(
+            "compact takes exactly one directory".into(),
+        ));
     };
-    let mut catalog = Catalog::open(dir).map_err(|e| e.to_string())?;
-    let stats = catalog.compact(&flags.options).map_err(|e| e.to_string())?;
+    let mut catalog = Catalog::open(dir).map_err(runtime)?;
+    let stats = catalog.compact(&flags.options).map_err(runtime)?;
     if stats.rewritten == 0 {
         eprintln!("nothing to compact (generation {})", catalog.generation());
     } else {
@@ -259,7 +293,7 @@ fn cmd_compact(args: &[String]) -> Result<(), String> {
         );
     }
     if flags.vacuum {
-        let removed = catalog.vacuum().map_err(|e| e.to_string())?;
+        let removed = catalog.vacuum().map_err(runtime)?;
         eprintln!("vacuum removed {removed} unreferenced file(s)");
     }
     Ok(())
@@ -295,13 +329,13 @@ fn parse_query_args(args: &[String]) -> Result<(String, cli::QueryFlags), String
     Ok((dir, flags))
 }
 
-fn cmd_query(args: &[String]) -> Result<(), String> {
-    let (dir, flags) = parse_query_args(args)?;
-    flags.validate()?;
-    let query = flags.build_query()?;
-    let catalog = Catalog::open(&dir).map_err(|e| e.to_string())?;
+fn cmd_query(args: &[String]) -> Result<(), CliError> {
+    let (dir, flags) = parse_query_args(args).map_err(CliError::Usage)?;
+    flags.validate().map_err(CliError::Usage)?;
+    let query = flags.build_query().map_err(CliError::Usage)?;
+    let catalog = Catalog::open(&dir).map_err(runtime)?;
     if flags.explain {
-        let explain = swim_query::explain_catalog(&catalog, &query).map_err(|e| e.to_string())?;
+        let explain = swim_query::explain_catalog(&catalog, &query).map_err(runtime)?;
         let title = format!("explain: {dir}");
         print!("{}", cli::render_explain(&explain, flags.format, &title));
         return Ok(());
@@ -317,7 +351,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     } else {
         catalog.execute(&query)
     };
-    let out = result.map_err(|e| e.to_string())?;
+    let out = result.map_err(runtime)?;
     let title = format!("swim-catalog: {dir}");
     print!("{}", cli::render_for(&out.output, flags.format, &title));
     eprintln!(
@@ -342,7 +376,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        return fail("a subcommand is required");
+        return CliError::Usage("a subcommand is required".into()).exit();
     };
     // SWIM_OBS enables instrumentation for any subcommand (ingest and
     // compact record spans too); `query --profile` forces it on itself.
@@ -358,7 +392,7 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        other => return fail(format!("unknown subcommand {other}")),
+        other => return CliError::Usage(format!("unknown subcommand {other}")).exit(),
     };
     let snap = swim_obs::snapshot();
     if let Err(e) = swim_obs::jsonl::append_env(&snap) {
@@ -366,6 +400,6 @@ fn main() -> ExitCode {
     }
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => fail(msg),
+        Err(err) => err.exit(),
     }
 }

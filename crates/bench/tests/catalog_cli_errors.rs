@@ -1,0 +1,101 @@
+//! Golden-pinned `swim-catalog` CLI error behaviour, mirroring the
+//! `swim-query` contract: usage errors (bad subcommand, wrong arity,
+//! misplaced flags, unparsable queries) exit 2 with the usage text,
+//! runtime errors (missing or unreadable catalogs) exit 1 without it,
+//! every error prints an `error: …` first line on stderr, and stdout
+//! stays empty.
+
+use std::process::Command;
+
+/// Run the binary; return (exit code, stdout, first stderr line).
+fn run(args: &[&str]) -> (i32, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_swim-catalog"))
+        .args(args)
+        .output()
+        .expect("swim-catalog binary runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    (
+        output.status.code().expect("exit code"),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        stderr.lines().next().unwrap_or_default().to_owned(),
+    )
+}
+
+#[test]
+fn missing_subcommand_is_a_usage_error() {
+    let (code, stdout, first) = run(&[]);
+    assert_eq!(code, 2);
+    assert!(stdout.is_empty(), "errors must not print results: {stdout}");
+    assert_eq!(first, "error: a subcommand is required");
+}
+
+#[test]
+fn unknown_subcommand_is_a_usage_error() {
+    let (code, stdout, first) = run(&["frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(stdout.is_empty());
+    assert_eq!(first, "error: unknown subcommand frobnicate");
+}
+
+#[test]
+fn init_arity_is_enforced() {
+    let (code, _, first) = run(&["init"]);
+    assert_eq!(code, 2);
+    assert_eq!(first, "error: init takes exactly one directory");
+
+    let (code, _, first) = run(&["init", "a", "b"]);
+    assert_eq!(code, 2);
+    assert_eq!(first, "error: init takes exactly one directory");
+}
+
+#[test]
+fn misplaced_flag_is_a_usage_error() {
+    // --vacuum belongs to compact, not stats.
+    let (code, _, first) = run(&["stats", "some-dir", "--vacuum"]);
+    assert_eq!(code, 2);
+    assert_eq!(first, "error: --vacuum does not apply to this subcommand");
+}
+
+#[test]
+fn adopt_rejects_resharding_knobs() {
+    let (code, _, first) = run(&["ingest", "d", "t.swim", "--adopt", "--machines", "5"]);
+    assert_eq!(code, 2);
+    assert_eq!(
+        first,
+        "error: --machines has no effect with --adopt \
+         (adopt copies stores verbatim as single shards)"
+    );
+}
+
+#[test]
+fn query_requires_a_directory() {
+    let (code, _, first) = run(&["query", "--select", "count"]);
+    assert_eq!(code, 2);
+    assert_eq!(first, "error: query takes a catalog directory");
+}
+
+#[test]
+fn query_rejects_bad_aggregates_before_touching_the_catalog() {
+    // The directory does not exist; the unparsable query must win.
+    let (code, _, first) = run(&["query", "/no/such/catalog.d", "--select", "p101(duration)"]);
+    assert_eq!(code, 2);
+    assert_eq!(
+        first,
+        "error: unknown aggregate `p101` (count, sum, min, max, avg, p0\u{2013}p100)"
+    );
+}
+
+#[test]
+fn missing_catalog_is_a_runtime_error() {
+    let (code, stdout, first) = run(&["stats", "/no/such/catalog.d"]);
+    assert_eq!(code, 1);
+    assert!(stdout.is_empty());
+    assert!(first.starts_with("error: "), "{first}");
+}
+
+#[test]
+fn help_exits_zero_with_usage_on_stdout() {
+    let (code, stdout, _) = run(&["--help"]);
+    assert_eq!(code, 0);
+    assert!(stdout.starts_with("usage:"), "{stdout}");
+}

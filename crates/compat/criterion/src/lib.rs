@@ -11,7 +11,7 @@
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 pub use std::hint::black_box;
 
@@ -154,13 +154,18 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Time `f` over the harness-chosen iteration count.
+    /// Time `f` over the harness-chosen iteration count. Wall-clock
+    /// reads go through `swim_obs::timed` — the workspace's single
+    /// clock entry point — so bench loops show up as `criterion.iter`
+    /// spans when span recording is enabled.
     pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
-        let start = Instant::now();
-        for _ in 0..self.iters {
-            black_box(f());
-        }
-        self.elapsed = start.elapsed();
+        let iters = self.iters;
+        let ((), elapsed) = swim_obs::timed("criterion.iter", || {
+            for _ in 0..iters {
+                black_box(f());
+            }
+        });
+        self.elapsed = elapsed;
     }
 }
 

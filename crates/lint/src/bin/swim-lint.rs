@@ -1,0 +1,120 @@
+//! `swim-lint`: workspace-aware static analysis enforcing the SWIM
+//! repo's layering, panic-policy, clock, atomics, durability, and
+//! env-registry invariants.
+//!
+//! ```text
+//! swim-lint [--root DIR] [--format text|md|json] [--deny]
+//! swim-lint --print-env-table [--root DIR]
+//! ```
+//!
+//! Exit codes: `0` clean (or findings without `--deny`), `1` findings
+//! under `--deny` or a runtime failure (unreadable workspace,
+//! unlexable file), `2` usage errors. `--print-env-table` renders the
+//! README markdown table from `docs/env-registry.txt` and exits.
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: swim-lint [--root DIR] [--format text|md|json] [--deny]\n\
+ swim-lint --print-env-table [--root DIR]\n\
+ --root DIR           workspace root to lint (default: current directory)\n\
+ --format text|md|json  report format (default: text)\n\
+ --deny               exit 1 if any finding survives (CI mode)\n\
+ --print-env-table    render the README env-var table from docs/env-registry.txt\n\
+ rules: layering panic clock ordering durability env (+ waiver hygiene)\n\
+ waive a finding with `// lint: allow(rule, \"reason\")` on or above the line";
+
+enum Format {
+    Text,
+    Markdown,
+    Json,
+}
+
+struct Args {
+    root: String,
+    format: Format,
+    deny: bool,
+    print_env_table: bool,
+}
+
+/// `Ok(None)` means `--help` was requested.
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        root: ".".to_owned(),
+        format: Format::Text,
+        deny: false,
+        print_env_table: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = iter.next().ok_or("--root requires a value")?;
+            }
+            "--format" => {
+                args.format = match iter.next().ok_or("--format requires a value")?.as_str() {
+                    "text" => Format::Text,
+                    "md" | "markdown" => Format::Markdown,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|md|json)")),
+                };
+            }
+            "--deny" => args.deny = true,
+            "--print-env-table" => args.print_env_table = true,
+            "--help" | "-h" => return Ok(None),
+            flag => return Err(format!("unknown argument {flag}")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Ok(Some(a)) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    swim_obs::init_from_env();
+    let root = std::path::Path::new(&args.root);
+    if args.print_env_table {
+        return match swim_lint::env_table(root) {
+            Ok(table) => {
+                print!("{table}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let result = match swim_lint::run(root) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = match args.format {
+        Format::Text => swim_lint::report::render_text(&result),
+        Format::Markdown => swim_lint::report::render_markdown(&result),
+        Format::Json => swim_lint::report::render_json(&result),
+    };
+    print!("{rendered}");
+    if let Err(e) = swim_obs::jsonl::append_env(&swim_obs::snapshot()) {
+        eprintln!("warning: SWIM_OBS_JSONL: {e}");
+    }
+    if args.deny && !result.is_clean() {
+        eprintln!(
+            "error: swim-lint: {} finding(s) denied (see report above)",
+            result.findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,506 @@
+//! A hand-rolled lexer for (a linting superset of) Rust.
+//!
+//! The rule engine never needs a parse tree — every workspace rule is a
+//! pattern over a token stream plus a little brace matching — so this
+//! lexer produces a flat `Vec<Tok>` with line numbers and nothing else.
+//! What it *does* have to get right is everything that would make a
+//! regex-based scanner lie:
+//!
+//! * raw strings (`r"…"`, `r#"…"#` with any number of hashes, plus the
+//!   `b`/`br`/`c`/`cr` prefixes), so `unwrap` inside a string never
+//!   counts as a call;
+//! * nested block comments (`/* /* */ */` — Rust nests them, C doesn't);
+//! * `'a` lifetimes vs `'a'` char literals (one lookahead past the
+//!   identifier run decides);
+//! * raw identifiers (`r#fn`) vs raw strings (`r#"…"#`);
+//! * byte/char escapes (`'\''`, `"\""`) and multi-line strings, so line
+//!   numbers stay exact afterwards.
+//!
+//! Tokens own their text; lint inputs are source files, where clarity
+//! beats zero-copy.
+
+use std::fmt;
+
+/// Token classification — exactly as fine-grained as the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `Ordering`, `r#try`).
+    Ident,
+    /// `'a`, `'static`, `'_` — a quote followed by an identifier with no
+    /// closing quote.
+    Lifetime,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Any string literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`. `text()`
+    /// returns the *unquoted* contents.
+    Str,
+    /// Numeric literal (`0x1f`, `1_000u64`, `2.5`).
+    Num,
+    /// `// …` comment, doc or plain. `text()` includes the slashes.
+    LineComment,
+    /// `/* … */` comment (possibly nested). `text()` includes delimiters.
+    BlockComment,
+    /// Punctuation. Multi-character only for `::`; everything else is a
+    /// single character.
+    Punct,
+}
+
+/// One token: kind, owned text, and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// The token text (unquoted contents for [`TokKind::Str`]).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` for line and block comments.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// `true` when the token is punctuation with exactly this text.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// `true` when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == id
+    }
+}
+
+/// A lexing failure: unterminated string/comment/char. Well-formed Rust
+/// never produces one; fixtures with broken code surface it as a
+/// finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line where the unterminated construct starts.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+/// Tokenize `src`. Returns every token including comments; whitespace is
+/// dropped. Fails only on unterminated strings/comments/chars.
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    let mut lx = Lexer {
+        src,
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        toks: Vec::new(),
+    };
+    lx.run()?;
+    Ok(lx.toks)
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: &str, line: u32) {
+        self.toks.push(Tok {
+            kind,
+            text: text.to_owned(),
+            line,
+        });
+    }
+
+    fn err(&self, line: u32, msg: &str) -> LexError {
+        LexError {
+            line,
+            msg: msg.to_owned(),
+        }
+    }
+
+    fn run(&mut self) -> Result<(), LexError> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment()?,
+                b'"' => self.string(self.i, false)?,
+                b'\'' => self.char_or_lifetime()?,
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(c) => self.ident_or_prefixed()?,
+                _ => self.punct(),
+            }
+        }
+        Ok(())
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        let line = self.line;
+        self.push(TokKind::LineComment, &self.src[start..self.i], line);
+    }
+
+    fn block_comment(&mut self) -> Result<(), LexError> {
+        let start = self.i;
+        let start_line = self.line;
+        let mut depth = 1u32;
+        self.i += 2;
+        while self.i < self.b.len() && depth > 0 {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                if self.b[self.i] == b'\n' {
+                    self.line += 1;
+                }
+                self.i += 1;
+            }
+        }
+        if depth > 0 {
+            return Err(self.err(start_line, "unterminated block comment"));
+        }
+        self.push(TokKind::BlockComment, &self.src[start..self.i], start_line);
+        Ok(())
+    }
+
+    /// Lex a (possibly prefixed) non-raw string starting at the opening
+    /// quote `self.i`; `content_from` marks where the token conceptually
+    /// starts (the prefix) for error reporting only.
+    fn string(&mut self, token_start: usize, _byte: bool) -> Result<(), LexError> {
+        let start_line = self.line;
+        self.i += 1; // opening quote
+        let content_start = self.i;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'"' => {
+                    let text = self.src[content_start..self.i].to_owned();
+                    self.i += 1;
+                    self.push(TokKind::Str, &text, start_line);
+                    let _ = token_start;
+                    return Ok(());
+                }
+                b'\\' => {
+                    // Skip the escaped character (handles \" and \\; a
+                    // multi-byte \u{…} is fine: braces aren't quotes).
+                    self.i += 2;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        Err(self.err(start_line, "unterminated string literal"))
+    }
+
+    /// Lex a raw string; `self.i` sits on the first `#` or the opening
+    /// quote (after the `r`/`br`/`cr` prefix).
+    fn raw_string(&mut self) -> Result<(), LexError> {
+        let start_line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            return Err(self.err(start_line, "malformed raw string start"));
+        }
+        self.i += 1;
+        let content_start = self.i;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'"' {
+                let after = &self.b[self.i + 1..];
+                if after.len() >= hashes && after[..hashes].iter().all(|&c| c == b'#') {
+                    let text = self.src[content_start..self.i].to_owned();
+                    self.i += 1 + hashes;
+                    self.push(TokKind::Str, &text, start_line);
+                    return Ok(());
+                }
+            }
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+        Err(self.err(start_line, "unterminated raw string literal"))
+    }
+
+    /// `'` starts either a char literal or a lifetime. The decider: after
+    /// an identifier run, a closing `'` means char (`'a'`); anything else
+    /// means lifetime (`'a`, `'static`, `'_`).
+    fn char_or_lifetime(&mut self) -> Result<(), LexError> {
+        let start_line = self.line;
+        let quote = self.i;
+        self.i += 1;
+        match self.peek(0) {
+            None => Err(self.err(start_line, "unterminated char literal")),
+            Some(b'\\') => {
+                // Escaped char literal: skip escape, then scan to the
+                // closing quote (covers '\n', '\'', '\u{1F600}').
+                self.i += 2;
+                while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                    if self.b[self.i] == b'\n' {
+                        return Err(self.err(start_line, "unterminated char literal"));
+                    }
+                    self.i += 1;
+                }
+                if self.i >= self.b.len() {
+                    return Err(self.err(start_line, "unterminated char literal"));
+                }
+                self.i += 1;
+                self.push(TokKind::Char, &self.src[quote..self.i], start_line);
+                Ok(())
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut j = self.i;
+                while j < self.b.len() && is_ident_cont(self.b[j]) {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'') {
+                    // 'a' — char literal.
+                    self.i = j + 1;
+                    self.push(TokKind::Char, &self.src[quote..self.i], start_line);
+                } else {
+                    // 'a / 'static / '_ — lifetime; no closing quote.
+                    let text = self.src[quote..j].to_owned();
+                    self.i = j;
+                    self.push(TokKind::Lifetime, &text, start_line);
+                }
+                Ok(())
+            }
+            Some(_) => {
+                // Non-identifier char literal: '(' , '0', '🦀' (multi-byte
+                // is fine — we scan to the closing quote).
+                while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                    if self.b[self.i] == b'\n' {
+                        return Err(self.err(start_line, "unterminated char literal"));
+                    }
+                    self.i += 1;
+                }
+                if self.i >= self.b.len() {
+                    return Err(self.err(start_line, "unterminated char literal"));
+                }
+                self.i += 1;
+                self.push(TokKind::Char, &self.src[quote..self.i], start_line);
+                Ok(())
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        while self.i < self.b.len() && is_ident_cont(self.b[self.i]) {
+            self.i += 1;
+        }
+        // A fractional part only if `.` is followed by a digit — this is
+        // what keeps `0..4` three tokens instead of a mangled float.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+            while self.i < self.b.len() && is_ident_cont(self.b[self.i]) {
+                self.i += 1;
+            }
+        }
+        self.push(TokKind::Num, &self.src[start..self.i], line);
+    }
+
+    /// An identifier — unless it is a string prefix (`r"`, `b"`, `br#"`,
+    /// `c"`, `cr"`), a raw identifier (`r#fn`), or a byte char (`b'x'`).
+    fn ident_or_prefixed(&mut self) -> Result<(), LexError> {
+        let start = self.i;
+        let line = self.line;
+        let mut j = self.i;
+        while j < self.b.len() && is_ident_cont(self.b[j]) {
+            j += 1;
+        }
+        let word = &self.src[start..j];
+        let next = self.b.get(j).copied();
+        match (word, next) {
+            ("r" | "br" | "cr", Some(b'"')) => {
+                self.i = j;
+                return self.raw_string();
+            }
+            ("r" | "br" | "cr", Some(b'#')) => {
+                // `r#"…"#` raw string, or `r#ident` raw identifier.
+                let mut k = j;
+                while self.b.get(k) == Some(&b'#') {
+                    k += 1;
+                }
+                if self.b.get(k) == Some(&b'"') {
+                    self.i = j;
+                    return self.raw_string();
+                }
+                if word == "r" && self.b.get(k).copied().is_some_and(is_ident_start) {
+                    let mut m = k;
+                    while m < self.b.len() && is_ident_cont(self.b[m]) {
+                        m += 1;
+                    }
+                    // Keep the `r#` in the text: `r#try` is not `try` to
+                    // any rule, which is exactly right.
+                    self.i = m;
+                    self.push(TokKind::Ident, &self.src[start..m], line);
+                    return Ok(());
+                }
+                // `r #[…]` etc — plain ident, punct handled next loop.
+                self.i = j;
+                self.push(TokKind::Ident, word, line);
+                return Ok(());
+            }
+            ("b" | "c", Some(b'"')) => {
+                self.i = j;
+                return self.string(start, true);
+            }
+            ("b", Some(b'\'')) => {
+                self.i = j;
+                return self.char_or_lifetime();
+            }
+            _ => {}
+        }
+        self.i = j;
+        self.push(TokKind::Ident, word, line);
+        Ok(())
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        if self.b[self.i] == b':' && self.peek(1) == Some(b':') {
+            self.i += 2;
+            self.push(TokKind::Punct, "::", line);
+            return;
+        }
+        // Multi-byte UTF-8 punctuation (→ in comments is already inside
+        // comment tokens; stray non-ASCII in code is rare) — consume the
+        // whole scalar so we never split a char boundary.
+        let ch_len = self.src[self.i..].chars().next().map_or(1, char::len_utf8);
+        let text = &self.src[self.i..self.i + ch_len];
+        self.i += ch_len;
+        self.push(TokKind::Punct, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let toks = kinds(r####"let x = r#"foo.unwrap()"#;"####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == "foo.unwrap()"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let toks = kinds("/* a /* b */ c */ after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "after".to_owned()));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let s = 'static; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 3, "{toks:?}");
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].1, "'a'");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let toks = kinds(r"let q = '\''; let n = '\n'; let u = '\u{1F600}';");
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let toks = kinds("&x[0..4]");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["&", "x", "[", "0", ".", ".", "4", "]"]);
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let toks = kinds("Instant::now()");
+        assert_eq!(toks[1], (TokKind::Punct, "::".to_owned()));
+    }
+
+    #[test]
+    fn raw_ident_keeps_prefix() {
+        let toks = kinds("let r#try = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#try"));
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'x'; let r = br"raw";"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_numbers() {
+        let toks = lex("let s = \"a\nb\";\nnext").unwrap();
+        let next = toks.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("let s = \"oops").is_err());
+        assert!(lex("/* never closed").is_err());
+    }
+}

@@ -1,0 +1,5 @@
+//! Durable state mutated outside the publish/fsync helpers.
+
+pub fn clobber(a: &str, b: &str) -> std::io::Result<()> {
+    std::fs::rename(a, b)
+}

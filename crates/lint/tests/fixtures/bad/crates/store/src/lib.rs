@@ -1,0 +1,17 @@
+//! Violates every file-level rule at least once. Never compiled — this
+//! file exists only to be scanned by swim-lint's fixture tests.
+
+use std::time::Instant;
+use swim_catalog::not_a_declared_dependency;
+
+pub fn naughty(xs: &[u64]) -> u64 {
+    let t = Instant::now();
+    let head = xs.first().copied().unwrap();
+    // lint: allow(panic)
+    let tail = xs[0];
+    let counter = std::sync::atomic::AtomicU64::new(head);
+    counter.fetch_add(tail, std::sync::atomic::Ordering::Relaxed);
+    let _ = std::env::var("SWIM_ROGUE");
+    not_a_declared_dependency();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,20 @@
+//! Clean under every rule: typed control flow, one reasoned waiver, and
+//! test-scoped code that the strict rules must ignore.
+
+pub fn tidy(xs: &[u64]) -> Option<u64> {
+    let _ = std::env::var("SWIM_GOOD");
+    // lint: allow(panic, "fixture: demonstrates a reasoned waiver surviving the scan")
+    let head = xs.first().copied().unwrap();
+    Some(head)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_scope_is_exempt() {
+        let started = std::time::Instant::now();
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let _ = started.elapsed();
+    }
+}

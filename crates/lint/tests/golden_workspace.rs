@@ -1,0 +1,53 @@
+//! The linter's own JSON report over this repository is golden-pinned:
+//! the workspace must stay finding-free, and every waiver that exists is
+//! enumerated with its reason. Any new violation (or new waiver) shows
+//! up as a diff here and in the CI `swim-lint --deny` job.
+//!
+//! Regenerate after an intentional change with
+//!
+//! ```sh
+//! SWIM_REGEN_GOLDEN=1 cargo test -p swim-lint --test golden_workspace
+//! ```
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn workspace_json_report_matches_golden() {
+    let result = swim_lint::run(&repo_root()).expect("lint run");
+    assert!(
+        result.is_clean(),
+        "the workspace must lint clean:\n{}",
+        swim_lint::report::render_text(&result)
+    );
+    let json = swim_lint::report::render_json(&result);
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/workspace.json");
+    if std::env::var_os("SWIM_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&golden_path, &json).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with SWIM_REGEN_GOLDEN=1",
+            golden_path.display()
+        )
+    });
+    if json != golden {
+        let first_diff = json
+            .lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(n, (a, b))| format!("line {}: got {a:?}, golden {b:?}", n + 1))
+            .unwrap_or_else(|| "lengths differ".to_owned());
+        panic!("lint JSON drifted from golden ({first_diff}); regenerate with SWIM_REGEN_GOLDEN=1");
+    }
+}

@@ -222,7 +222,7 @@ pub fn quantile_of_sorted(sorted: &[u64], p: f64) -> Option<u64> {
     }
     let p = p.clamp(0.0, 1.0);
     if p == 0.0 {
-        return Some(sorted[0]);
+        return sorted.first().copied();
     }
     let rank = (p * sorted.len() as f64).ceil() as usize;
     Some(sorted[rank.clamp(1, sorted.len()) - 1])

@@ -148,6 +148,7 @@ impl AggState {
                 *n += n2;
             }
             (AggState::Samples(a), AggState::Samples(b)) => a.extend(b),
+            // lint: allow(panic, "merge partners are built from the same aggregate list, so variants always pair up")
             _ => unreachable!("merged states always come from the same aggregate list"),
         }
     }
@@ -167,6 +168,7 @@ impl AggState {
             }
             AggState::Samples(mut s) => {
                 let Aggregate::Percentile(_, p) = agg else {
+                    // lint: allow(panic, "Samples state is only ever constructed for percentile aggregates")
                     unreachable!("sample state belongs to a percentile aggregate")
                 };
                 if s.is_empty() {

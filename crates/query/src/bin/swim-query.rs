@@ -50,6 +50,14 @@ const USAGE: &str = "usage: swim-query (--trace TRACE.swim | --catalog DIR) --se
  group keys: expressions, e.g. --group-by \"submit/3600\" for hourly bins\n\
  --order-by N orders by 1-based output column (group keys first)";
 
+/// Usage errors (malformed command line, unparsable query) exit 2 with
+/// the usage text; runtime errors (missing file, corrupt store, failed
+/// execution) exit 1 without it. Both start stderr with `error: …`.
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
 /// `Ok(None)` means `--help` was requested.
 fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args {
@@ -101,22 +109,14 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         Ok(Some(a)) => a,
-        Err(msg) => {
-            eprintln!("error: {msg}\n");
-            eprintln!("{USAGE}");
-            return ExitCode::FAILURE;
-        }
+        Err(msg) => return usage_error(&msg),
     };
     if let Err(msg) = args.flags.validate() {
-        eprintln!("error: {msg}\n\n{USAGE}");
-        return ExitCode::FAILURE;
+        return usage_error(&msg);
     }
     let query = match args.flags.build_query() {
         Ok(q) => q,
-        Err(msg) => {
-            eprintln!("error: {msg}\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
+        Err(msg) => return usage_error(&msg),
     };
     swim_obs::init_from_env();
     if args.flags.profile {

@@ -176,6 +176,7 @@ impl CatalogQuery for Catalog {
                             let mut merged: Option<Acc> = None;
                             let mut stats = ExecStats::default();
                             loop {
+                                // lint: ordering: work-stealing cursor; slot handoff is via scoped-thread join
                                 let slot = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(&idx) = selected_ref.get(slot) else {
                                     break;
@@ -196,6 +197,7 @@ impl CatalogQuery for Catalog {
                     .collect();
                 handles
                     .into_iter()
+                    // lint: allow(panic, "re-raises a worker panic; join only fails if the closure panicked")
                     .map(|h| h.join().expect("federated worker panicked"))
                     .collect()
             });

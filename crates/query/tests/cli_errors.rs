@@ -1,7 +1,9 @@
-//! Golden-pinned `swim-query` CLI error behaviour: every malformed
-//! invocation must exit non-zero, print a specific first line on stderr,
-//! and leave stdout empty. The exact messages are pinned so error UX
-//! changes are deliberate, not accidental.
+//! Golden-pinned `swim-query` CLI error behaviour: usage errors
+//! (malformed command line or unparsable query) exit 2, runtime errors
+//! (missing or corrupt inputs) exit 1, every error prints a specific
+//! `error: …` first line on stderr, and stdout stays empty. The exact
+//! messages and codes are pinned so error UX changes are deliberate,
+//! not accidental.
 
 use std::process::Command;
 
@@ -31,7 +33,7 @@ fn run(args: &[&str]) -> (i32, String, String) {
 fn bad_unit_suffix_is_rejected_with_the_suffix_named() {
     let trace = fixture();
     let (code, stdout, first) = run(&["--trace", &trace, "--where", "input > 5zb"]);
-    assert_eq!(code, 1);
+    assert_eq!(code, 2);
     assert!(stdout.is_empty(), "errors must not print results: {stdout}");
     assert_eq!(
         first,
@@ -43,7 +45,7 @@ fn bad_unit_suffix_is_rejected_with_the_suffix_named() {
 fn unknown_column_is_rejected_with_the_column_named() {
     let trace = fixture();
     let (code, stdout, first) = run(&["--trace", &trace, "--where", "frobnicate > 5"]);
-    assert_eq!(code, 1);
+    assert_eq!(code, 2);
     assert!(stdout.is_empty());
     assert_eq!(
         first,
@@ -55,7 +57,7 @@ fn unknown_column_is_rejected_with_the_column_named() {
 fn dangling_operator_is_rejected_at_end_of_input() {
     let trace = fixture();
     let (code, stdout, first) = run(&["--trace", &trace, "--where", "input >"]);
-    assert_eq!(code, 1);
+    assert_eq!(code, 2);
     assert!(stdout.is_empty());
     assert_eq!(first, "error: expected an expression at end of input");
 }
@@ -64,7 +66,7 @@ fn dangling_operator_is_rejected_at_end_of_input() {
 fn unknown_aggregate_lists_the_valid_ones() {
     let trace = fixture();
     let (code, stdout, first) = run(&["--trace", &trace, "--select", "p101(duration)"]);
-    assert_eq!(code, 1);
+    assert_eq!(code, 2);
     assert!(stdout.is_empty());
     assert_eq!(
         first,
@@ -76,18 +78,18 @@ fn unknown_aggregate_lists_the_valid_ones() {
 fn single_equals_points_at_double_equals() {
     let trace = fixture();
     let (code, _, first) = run(&["--trace", &trace, "--where", "input = 5"]);
-    assert_eq!(code, 1);
+    assert_eq!(code, 2);
     assert_eq!(first, "error: use `==` for equality");
 }
 
 #[test]
 fn unknown_flag_and_missing_inputs_are_usage_errors() {
     let (code, _, first) = run(&["--frobnicate"]);
-    assert_eq!(code, 1);
+    assert_eq!(code, 2);
     assert_eq!(first, "error: unknown flag --frobnicate");
 
     let (code, _, first) = run(&[]);
-    assert_eq!(code, 1);
+    assert_eq!(code, 2);
     assert_eq!(
         first,
         "error: a store file or catalog directory is required \
@@ -96,7 +98,7 @@ fn unknown_flag_and_missing_inputs_are_usage_errors() {
 
     let trace = fixture();
     let (code, _, first) = run(&["--trace", &trace, "--catalog", "some-dir"]);
-    assert_eq!(code, 1);
+    assert_eq!(code, 2);
     assert_eq!(first, "error: --trace and --catalog are mutually exclusive");
 }
 
@@ -104,7 +106,7 @@ fn unknown_flag_and_missing_inputs_are_usage_errors() {
 fn zero_order_by_column_is_rejected() {
     let trace = fixture();
     let (code, _, first) = run(&["--trace", &trace, "--order-by", "0"]);
-    assert_eq!(code, 1);
+    assert_eq!(code, 2);
     assert_eq!(first, "error: --order-by columns are 1-based");
 }
 

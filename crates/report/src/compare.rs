@@ -67,6 +67,7 @@ impl Comparison {
                     s.spawn(move |_| {
                         let mut mine: Vec<(usize, ExperimentResult)> = Vec::new();
                         loop {
+                            // lint: ordering: work-stealing cursor; results travel via scope join
                             let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
                             if i >= n_cells {
                                 break;

@@ -150,7 +150,7 @@ impl SimResult {
             return 0.0;
         }
         let mut lat: Vec<f64> = self.outcomes.iter().map(|o| o.latency().as_f64()).collect();
-        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        lat.sort_by(f64::total_cmp);
         let rank = ((p.clamp(0.0, 1.0)) * lat.len() as f64).ceil() as usize;
         lat[rank.clamp(1, lat.len()) - 1]
     }
@@ -434,7 +434,11 @@ fn dispatch(
                 if i >= scheduler.map_len() {
                     i = 0;
                 }
-                let job = scheduler.map_at(i).expect("index bounded");
+                // `i` was just wrapped below `map_len`, so the lookup
+                // cannot miss; break defensively rather than panic.
+                let Some(job) = scheduler.map_at(i) else {
+                    break;
+                };
                 let js = &mut jobs[job];
                 let got = slots.take_map(1);
                 grant(js, job, true, got, &mut touched);
@@ -449,7 +453,10 @@ fn dispatch(
                 if i >= scheduler.reduce_len() {
                     i = 0;
                 }
-                let job = scheduler.reduce_at(i).expect("index bounded");
+                // Same wrap-around invariant as the map loop above.
+                let Some(job) = scheduler.reduce_at(i) else {
+                    break;
+                };
                 let js = &mut jobs[job];
                 let got = slots.take_reduce(1);
                 grant(js, job, false, got, &mut touched);

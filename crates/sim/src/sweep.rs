@@ -133,6 +133,7 @@ impl Simulator {
                     s.spawn(move |_| {
                         let mut mine: Vec<(usize, SimResult)> = Vec::new();
                         loop {
+                            // lint: ordering: work-stealing cursor; results travel via scope join
                             let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
                             let Some(config) = configs_ref.get(i) else {
                                 break;
@@ -145,9 +146,11 @@ impl Simulator {
                 .collect();
             handles
                 .into_iter()
+                // lint: allow(panic, "re-raises a worker panic; join only fails if the closure panicked")
                 .flat_map(|h| h.join().expect("sweep worker panicked"))
                 .collect()
         })
+        // lint: allow(panic, "crossbeam scope errors only when a child thread panicked")
         .expect("sweep scope");
         for (i, result) in indexed {
             slots[i] = Some(result);
@@ -157,6 +160,7 @@ impl Simulator {
             .zip(slots)
             .map(|(config, result)| SweepCell {
                 config,
+                // lint: allow(panic, "the cursor hands every index to exactly one worker, so every slot is filled")
                 result: result.expect("every scenario claimed exactly once"),
             })
             .collect()

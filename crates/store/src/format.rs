@@ -136,15 +136,15 @@ impl Header {
                 context: "bad file magic",
             });
         }
-        let version = u16::from_le_bytes(r.take(2)?.try_into().expect("len 2"));
+        let version = r.u16()?;
         if !(VERSION_1..=VERSION).contains(&version) {
             return Err(StoreError::UnsupportedVersion(version));
         }
-        let tag = r.take(1)?[0];
-        let _flags = r.take(1)?[0];
-        let machines = u32::from_le_bytes(r.take(4)?.try_into().expect("len 4"));
-        let jobs_per_chunk = u32::from_le_bytes(r.take(4)?.try_into().expect("len 4"));
-        let custom_len = u32::from_le_bytes(r.take(4)?.try_into().expect("len 4"));
+        let tag = r.u8()?;
+        let _flags = r.u8()?;
+        let machines = r.u32()?;
+        let jobs_per_chunk = r.u32()?;
+        let custom_len = r.u32()?;
         let custom = String::from_utf8(r.take(custom_len as usize)?.to_vec()).map_err(|_| {
             StoreError::Corrupt {
                 context: "custom kind label not utf-8",
@@ -329,13 +329,13 @@ impl Footer {
     /// end after the summary).
     pub fn decode(bytes: &[u8]) -> Result<Footer, StoreError> {
         let mut r = Reader::new(bytes);
-        let magic = u32::from_le_bytes(r.take(4)?.try_into().expect("len 4"));
+        let magic = r.u32()?;
         if magic != FOOTER_MAGIC {
             return Err(StoreError::Corrupt {
                 context: "bad footer magic",
             });
         }
-        let count = u32::from_le_bytes(r.take(4)?.try_into().expect("len 4"));
+        let count = r.u32()?;
         // Each index entry is 40 bytes; reject counts the footer cannot
         // possibly hold before reserving memory for them.
         if count as usize > bytes.len().saturating_sub(8) / 40 {
@@ -363,7 +363,7 @@ impl Footer {
         let zones = if r.remaining() == 0 {
             None // v1 footer: nothing after the summary.
         } else {
-            let magic = u32::from_le_bytes(r.take(4)?.try_into().expect("len 4"));
+            let magic = r.u32()?;
             if magic != ZONE_MAGIC {
                 return Err(StoreError::Corrupt {
                     context: "bad zone-map magic",
@@ -420,8 +420,30 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// `take(N)` as a fixed-size array. `take` already bounds-checked,
+    /// so the conversion maps a (impossible) size mismatch to `Corrupt`
+    /// instead of panicking.
+    fn take_arr<const N: usize>(&mut self) -> Result<[u8; N], StoreError> {
+        self.take(N)?.try_into().map_err(|_| StoreError::Corrupt {
+            context: "fixed-width field size",
+        })
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        let [b] = self.take_arr::<1>()?;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take_arr()?))
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take_arr()?))
+    }
+
     fn u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(u64::from_le_bytes(self.take_arr()?))
     }
 
     fn remaining(&self) -> usize {
@@ -432,9 +454,9 @@ impl<'a> Reader<'a> {
 /// Encode one chunk's fixed header.
 pub fn encode_chunk_header(job_count: u32, payload_len: u64) -> [u8; CHUNK_HEADER_LEN] {
     let mut out = [0u8; CHUNK_HEADER_LEN];
-    out[0..4].copy_from_slice(&CHUNK_MAGIC.to_le_bytes());
-    out[4..8].copy_from_slice(&job_count.to_le_bytes());
-    out[8..16].copy_from_slice(&payload_len.to_le_bytes());
+    out[0..4].copy_from_slice(&CHUNK_MAGIC.to_le_bytes()); // lint: allow(panic, "constant ranges inside a fixed [u8; 16]")
+    out[4..8].copy_from_slice(&job_count.to_le_bytes()); // lint: allow(panic, "constant ranges inside a fixed [u8; 16]")
+    out[8..16].copy_from_slice(&payload_len.to_le_bytes()); // lint: allow(panic, "constant ranges inside a fixed [u8; 16]")
     out
 }
 
@@ -446,14 +468,15 @@ pub fn decode_chunk_header(block: &[u8]) -> Result<(u32, u64), StoreError> {
             context: "chunk block shorter than header",
         });
     }
-    let magic = u32::from_le_bytes(block[0..4].try_into().expect("len 4"));
+    let mut r = Reader::new(block);
+    let magic = r.u32()?;
     if magic != CHUNK_MAGIC {
         return Err(StoreError::Corrupt {
             context: "bad chunk magic",
         });
     }
-    let job_count = u32::from_le_bytes(block[4..8].try_into().expect("len 4"));
-    let payload_len = u64::from_le_bytes(block[8..16].try_into().expect("len 8"));
+    let job_count = r.u32()?;
+    let payload_len = r.u64()?;
     if payload_len != (block.len() - CHUNK_HEADER_LEN) as u64 {
         return Err(StoreError::Corrupt {
             context: "chunk payload length disagrees with index",
@@ -465,9 +488,31 @@ pub fn decode_chunk_header(block: &[u8]) -> Result<(u32, u64), StoreError> {
 /// Encode the file trailer pointing at the footer.
 pub fn encode_trailer(footer_offset: u64) -> [u8; TRAILER_LEN] {
     let mut out = [0u8; TRAILER_LEN];
-    out[0..8].copy_from_slice(&footer_offset.to_le_bytes());
-    out[8..16].copy_from_slice(&END_MAGIC);
+    out[0..8].copy_from_slice(&footer_offset.to_le_bytes()); // lint: allow(panic, "constant ranges inside a fixed [u8; 16]")
+    out[8..16].copy_from_slice(&END_MAGIC); // lint: allow(panic, "constant ranges inside a fixed [u8; 16]")
     out
+}
+
+/// Decode the file trailer: validates the end magic and returns the
+/// footer offset.
+pub fn decode_trailer(trailer: &[u8]) -> Result<u64, StoreError> {
+    let mut r = Reader::new(trailer);
+    let footer_offset = r.u64()?;
+    if r.take(END_MAGIC.len())? != END_MAGIC {
+        return Err(StoreError::Corrupt {
+            context: "bad trailer magic",
+        });
+    }
+    Ok(footer_offset)
+}
+
+/// Peek the custom-kind label length out of the fixed 24-byte header
+/// prefix (bytes 20..24) without decoding the whole header — the reader
+/// needs it to size the full variable-length header read.
+pub fn header_custom_len(fixed: &[u8]) -> Result<u32, StoreError> {
+    let mut r = Reader::new(fixed);
+    r.take(20)?;
+    r.u32()
 }
 
 /// Column payload codec for one chunk of jobs.

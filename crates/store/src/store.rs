@@ -153,12 +153,7 @@ impl Store {
             });
         }
         let trailer = handle.read_span(file_len - trailer_len, trailer_len)?;
-        if trailer[8..16] != format::END_MAGIC {
-            return Err(StoreError::Corrupt {
-                context: "bad trailer magic",
-            });
-        }
-        let footer_offset = u64::from_le_bytes(trailer[0..8].try_into().expect("len 8"));
+        let footer_offset = format::decode_trailer(&trailer)?;
         if footer_offset >= file_len - trailer_len {
             return Err(StoreError::Corrupt {
                 context: "footer offset past end of file",
@@ -174,7 +169,7 @@ impl Store {
 
         // Header: fixed 24 bytes, then the custom-kind label if present.
         let fixed = handle.read_span(0, 24)?;
-        let custom_len = u64::from(u32::from_le_bytes(fixed[20..24].try_into().expect("len 4")));
+        let custom_len = u64::from(format::header_custom_len(&fixed)?);
         if custom_len >= file_len {
             return Err(StoreError::Corrupt {
                 context: "custom kind label longer than file",
@@ -631,6 +626,7 @@ impl Store {
                         let mut handle = self.new_handle()?;
                         let mut acc = init();
                         loop {
+                            // lint: ordering: work-stealing cursor; chunk handoff is via scoped-thread join
                             let slot = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&idx) = selected.get(slot) else {
                                 break;
@@ -650,6 +646,7 @@ impl Store {
                 .collect();
             handles
                 .into_iter()
+                // lint: allow(panic, "re-raises a worker panic; join only fails if the closure panicked")
                 .map(|h| h.join().expect("par_scan worker panicked"))
                 .collect()
         });
@@ -661,6 +658,7 @@ impl Store {
                 Some(acc) => merge(acc, value),
             });
         }
+        // lint: allow(panic, "threads >= 1 and selected is non-empty, so one worker always reports")
         Ok(merged.expect("at least one worker"))
     }
 

@@ -176,6 +176,7 @@ pub fn write_store_path(
 /// writing to a `Vec` can fail).
 pub fn store_to_vec(trace: &Trace, options: &StoreOptions) -> Vec<u8> {
     let mut buf = Vec::new();
+    // lint: allow(panic, "documented panic: writing to a Vec cannot fail I/O, only validation")
     write_store(trace, &mut buf, options).expect("valid options; Vec writer cannot fail");
     buf
 }
