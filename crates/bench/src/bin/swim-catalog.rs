@@ -28,7 +28,7 @@
 
 use std::process::ExitCode;
 use swim_catalog::{Catalog, CatalogOptions};
-use swim_query::{cli, CatalogQuery};
+use swim_query::{cli, Session};
 use swim_store::StoreOptions;
 
 const USAGE: &str = "usage:\n\
@@ -333,9 +333,11 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let (dir, flags) = parse_query_args(args).map_err(CliError::Usage)?;
     flags.validate().map_err(CliError::Usage)?;
     let query = flags.build_query().map_err(CliError::Usage)?;
-    let catalog = Catalog::open(&dir).map_err(runtime)?;
+    // The shared Session engine — the same execution path swim-query
+    // and swim-serve use, so all three stay byte-identical.
+    let session = Session::open_catalog(&dir).map_err(runtime)?;
     if flags.explain {
-        let explain = swim_query::explain_catalog(&catalog, &query).map_err(runtime)?;
+        let explain = session.explain(&query).map_err(runtime)?;
         let title = format!("explain: {dir}");
         print!("{}", cli::render_explain(&explain, flags.format, &title));
         return Ok(());
@@ -346,20 +348,10 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
         swim_obs::set_enabled(swim_obs::ALL);
         swim_obs::reset();
     }
-    let result = if flags.serial {
-        catalog.execute_serial(&query)
-    } else {
-        catalog.execute(&query)
-    };
-    let out = result.map_err(runtime)?;
+    let out = session.execute(&query, flags.serial).map_err(runtime)?;
     let title = format!("swim-catalog: {dir}");
     print!("{}", cli::render_for(&out.output, flags.format, &title));
-    eprintln!(
-        "{} (catalog generation {}, {} jobs)",
-        out.stats_line(),
-        catalog.generation(),
-        catalog.job_count()
-    );
+    eprintln!("{}", out.summary);
     if flags.profile {
         let sep = match flags.format {
             cli::OutputFormat::Json => "",

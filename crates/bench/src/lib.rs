@@ -15,5 +15,6 @@ pub mod analyze;
 pub mod corpus;
 pub mod experiments;
 pub mod render;
+pub mod serveload;
 
 pub use corpus::{Corpus, CorpusScale};

@@ -23,9 +23,7 @@
 //! and `SWIM_OBS_JSONL=FILE` appends the final snapshot as JSON lines.
 
 use std::process::ExitCode;
-use swim_catalog::Catalog;
-use swim_query::{cli, execute, execute_serial, explain_catalog, explain_store, CatalogQuery};
-use swim_store::Store;
+use swim_query::{cli, Session};
 
 struct Args {
     trace: String,
@@ -126,69 +124,32 @@ fn main() -> ExitCode {
         swim_obs::set_enabled(swim_obs::ALL);
         swim_obs::reset();
     }
-    // Federated path: every shard of a catalog directory, pruned at the
-    // shard level before any file is opened.
-    if !args.catalog.is_empty() {
-        let catalog = match Catalog::open(&args.catalog) {
-            Ok(c) => c,
+    // One shared execution path for both sources: the Session engine
+    // (also what swim-catalog query and swim-serve run on). Open errors
+    // keep the raw store/catalog error text.
+    let (session, path) = if !args.catalog.is_empty() {
+        // Federated path: every shard of a catalog directory, pruned at
+        // the shard level before any file is opened.
+        match Session::open_catalog(&args.catalog) {
+            Ok(s) => (s, args.catalog),
             Err(e) => {
                 eprintln!("error: open {}: {e}", args.catalog);
                 return ExitCode::FAILURE;
             }
-        };
-        if args.flags.explain {
-            return match explain_catalog(&catalog, &query) {
-                Ok(explain) => {
-                    let title = format!("explain: {}", args.catalog);
-                    print!(
-                        "{}",
-                        cli::render_explain(&explain, args.flags.format, &title)
-                    );
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
-            };
         }
-        let result = if args.flags.serial {
-            catalog.execute_serial(&query)
-        } else {
-            catalog.execute(&query)
-        };
-        let out = match result {
-            Ok(o) => o,
+    } else {
+        match Session::open_store(&args.trace) {
+            Ok(s) => (s, args.trace),
             Err(e) => {
-                eprintln!("error: {e}");
+                eprintln!("error: open {}: {e}", args.trace);
                 return ExitCode::FAILURE;
             }
-        };
-        let title = format!("swim-query: {}", args.catalog);
-        print!(
-            "{}",
-            cli::render_for(&out.output, args.flags.format, &title)
-        );
-        eprintln!(
-            "{} (catalog generation {}, {} jobs)",
-            out.stats_line(),
-            catalog.generation(),
-            catalog.job_count()
-        );
-        finish_profile(&args.flags);
-        return ExitCode::SUCCESS;
-    }
-    let store = match Store::open(&args.trace) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: open {}: {e}", args.trace);
-            return ExitCode::FAILURE;
         }
     };
     if args.flags.explain {
-        return match explain_store(&store, &args.trace, &query) {
+        return match session.explain(&query) {
             Ok(explain) => {
-                let title = format!("explain: {}", args.trace);
+                let title = format!("explain: {path}");
                 print!(
                     "{}",
                     cli::render_explain(&explain, args.flags.format, &title)
@@ -201,26 +162,19 @@ fn main() -> ExitCode {
             }
         };
     }
-    let result = if args.flags.serial {
-        execute_serial(&store, &query)
-    } else {
-        execute(&store, &query)
-    };
-    let output = match result {
-        Ok(o) => o,
+    let result = match session.execute(&query, args.flags.serial) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let title = format!("swim-query: {}", args.trace);
-    print!("{}", cli::render_for(&output, args.flags.format, &title));
-    eprintln!(
-        "{} (store v{}, {} jobs)",
-        swim_query::render::stats_line(&output),
-        store.format_version(),
-        store.job_count()
+    let title = format!("swim-query: {path}");
+    print!(
+        "{}",
+        cli::render_for(&result.output, args.flags.format, &title)
     );
+    eprintln!("{}", result.summary);
     finish_profile(&args.flags);
     ExitCode::SUCCESS
 }

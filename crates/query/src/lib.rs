@@ -85,6 +85,7 @@ mod obs;
 pub mod parse;
 pub mod plan;
 pub mod render;
+pub mod session;
 
 pub use agg::{AggValue, Aggregate};
 pub use exec::{execute, execute_serial, ExecStats, QueryOutput, Row};
@@ -93,6 +94,7 @@ pub use expr::{CmpOp, Col, Expr, Pred, Tri, Values};
 pub use federated::{CatalogOutput, CatalogQuery};
 pub use plan::{plan, OrderBy, Plan, Query};
 pub use render::{render_json, render_markdown, render_text};
+pub use session::{Session, SessionResult};
 
 use std::fmt;
 use swim_catalog::CatalogError;

@@ -1,0 +1,248 @@
+//! The per-generation query-result cache.
+//!
+//! Keys are `(generation, canonical-query)` — the canonical form is the
+//! deterministic `Debug` rendering of the typed [`swim_query::Query`],
+//! so two wire requests that parse to the same plan share an entry. The
+//! generation in the key is what makes the cache *trivially* correct
+//! under concurrent `ingest`/`compact`: a mutation publishes a new
+//! generation, new requests look up under the new key and miss, and old
+//! entries are never served for it. Stale entries need no invalidation
+//! protocol; they stop being looked up and age out of the LRU.
+//!
+//! Same shape as the catalog's decoded-column LRU
+//! (`crates/catalog/src/cache.rs`): a mutex around the map plus
+//! lifetime atomic hit/miss/eviction counters, mirrored into `swim-obs`
+//! counters (`serve.cache_hits`, `serve.cache_misses`,
+//! `serve.cache_evictions`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use swim_obs::Counter;
+use swim_query::SessionResult;
+
+static CACHE_HITS: Counter = Counter::new("serve.cache_hits");
+static CACHE_MISSES: Counter = Counter::new("serve.cache_misses");
+static CACHE_EVICTIONS: Counter = Counter::new("serve.cache_evictions");
+
+/// Lifetime counters plus current occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including all lookups while disabled).
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries (0 disables caching).
+    pub capacity: usize,
+}
+
+struct Slot {
+    value: Arc<SessionResult>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<(u64, String), Slot>,
+    tick: u64,
+    capacity: usize,
+}
+
+/// A bounded LRU of query results keyed by `(generation,
+/// canonical-query)`.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results; 0 disables caching
+    /// (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                capacity,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum resident entries.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Look up the result for `canonical` at `generation`.
+    pub fn lookup(&self, generation: u64, canonical: &str) -> Option<Arc<SessionResult>> {
+        let mut inner = self.inner.lock();
+        if inner.capacity == 0 {
+            drop(inner);
+            // lint: ordering: statistics counter; no data is published through it
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            CACHE_MISSES.incr();
+            return None;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let hit = inner
+            .map
+            .get_mut(&(generation, canonical.to_owned()))
+            .map(|slot| {
+                slot.last_used = tick;
+                Arc::clone(&slot.value)
+            });
+        drop(inner);
+        if hit.is_some() {
+            // lint: ordering: statistics counter; no data is published through it
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            CACHE_HITS.incr();
+        } else {
+            // lint: ordering: statistics counter; no data is published through it
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            CACHE_MISSES.incr();
+        }
+        hit
+    }
+
+    /// Insert a result under `(generation, canonical)`, evicting the
+    /// least-recently-used entries past capacity. A no-op when caching
+    /// is disabled.
+    pub fn insert(&self, generation: u64, canonical: String, value: Arc<SessionResult>) {
+        let mut inner = self.inner.lock();
+        if inner.capacity == 0 {
+            return;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            (generation, canonical),
+            Slot {
+                value,
+                last_used: tick,
+            },
+        );
+        let evicted = evict_over_capacity(&mut inner);
+        drop(inner);
+        if evicted > 0 {
+            // lint: ordering: statistics counter; no data is published through it
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            CACHE_EVICTIONS.add(evicted);
+        }
+    }
+
+    /// Drop all resident entries; lifetime counters survive.
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    /// Lifetime counters plus current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            // lint: ordering: statistics counter; no data is published through it
+            hits: self.hits.load(Ordering::Relaxed),
+            // lint: ordering: statistics counter; no data is published through it
+            misses: self.misses.load(Ordering::Relaxed),
+            // lint: ordering: statistics counter; no data is published through it
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            capacity: inner.capacity,
+        }
+    }
+}
+
+/// Evict least-recently-used entries until the map fits the capacity;
+/// returns how many were dropped.
+fn evict_over_capacity(inner: &mut Inner) -> u64 {
+    let mut evicted = 0u64;
+    while inner.map.len() > inner.capacity {
+        let victim = inner
+            .map
+            .iter()
+            .min_by_key(|(_, slot)| slot.last_used)
+            .map(|(key, _)| key.clone());
+        match victim {
+            Some(key) => {
+                inner.map.remove(&key);
+                evicted += 1;
+            }
+            None => break,
+        }
+    }
+    evicted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swim_query::{ExecStats, QueryOutput};
+
+    fn result(tag: &str) -> Arc<SessionResult> {
+        Arc::new(SessionResult {
+            output: QueryOutput {
+                columns: vec!["count".into()],
+                rows: Vec::new(),
+                stats: ExecStats::default(),
+            },
+            summary: tag.to_owned(),
+            generation: None,
+        })
+    }
+
+    #[test]
+    fn hit_iff_generation_and_query_match() {
+        let cache = ResultCache::new(8);
+        cache.insert(1, "q1".into(), result("a"));
+        assert_eq!(cache.lookup(1, "q1").unwrap().summary, "a");
+        assert!(cache.lookup(2, "q1").is_none(), "generation bump must miss");
+        assert!(cache.lookup(1, "q2").is_none(), "different query must miss");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ResultCache::new(2);
+        cache.insert(1, "a".into(), result("a"));
+        cache.insert(1, "b".into(), result("b"));
+        assert!(cache.lookup(1, "a").is_some()); // a is now hotter than b
+        cache.insert(1, "c".into(), result("c"));
+        assert!(cache.lookup(1, "b").is_none(), "b was the LRU victim");
+        assert!(cache.lookup(1, "a").is_some());
+        assert!(cache.lookup(1, "c").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ResultCache::new(0);
+        cache.insert(1, "a".into(), result("a"));
+        assert!(cache.lookup(1, "a").is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_counters() {
+        let cache = ResultCache::new(4);
+        cache.insert(1, "a".into(), result("a"));
+        assert!(cache.lookup(1, "a").is_some());
+        cache.clear();
+        assert!(cache.lookup(1, "a").is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 0));
+    }
+}

@@ -1,0 +1,42 @@
+//! # swim-serve
+//!
+//! A resident, threaded TCP server over a `swim-catalog` dataset: the
+//! one-shot `swim-query` CLI turned into a long-running process that
+//! holds the catalog open and answers concurrent query requests through
+//! the same [`swim_query::Session`] execution path the binaries use.
+//!
+//! Three properties carry the design:
+//!
+//! 1. **Snapshot isolation for free.** Catalog shards are immutable and
+//!    the `MANIFEST` is replaced atomically, so a generation is a
+//!    consistent snapshot that stays readable after newer ones land. The server pins each request to
+//!    an `Arc<Session>` opened at one generation; concurrent
+//!    `ingest`/`compact` publish a new generation and the server swaps
+//!    in a fresh session while in-flight requests finish against the
+//!    old one (retired sessions are tracked so `vacuum` can wait for
+//!    the last reader before deleting files).
+//! 2. **Bounded admission.** A queue-depth limit caps admitted
+//!    connections; past it the acceptor answers a typed `overloaded`
+//!    error immediately instead of queueing unboundedly. A fixed worker
+//!    pool drains the queue; graceful shutdown finishes in-flight
+//!    requests before exiting.
+//! 3. **Per-generation result cache.** Query results are cached under
+//!    `(generation, canonical-query)`. A generation bump changes the
+//!    key, so a hit is *always* current for the generation the response
+//!    reports — no invalidation protocol needed, old entries simply age
+//!    out of the LRU.
+//!
+//! The wire protocol ([`protocol`]) is a hand-rolled line protocol:
+//! one request per line (`query --select count --where "input > 1gb"`,
+//! `ping`, `stats`, …), one length-prefixed response per request.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, ResultCache};
+pub use protocol::{ErrorKind, Response};
+pub use server::{serve, ServeError, ServeOptions, ServerHandle, ServerStats};

@@ -1,0 +1,866 @@
+//! The server: acceptor + bounded worker pool over a catalog directory.
+//!
+//! ## Snapshot isolation
+//!
+//! Every request executes against an `Arc<Session>` pinned to one
+//! catalog generation. Before dispatching, a worker peeks the on-disk
+//! generation (two lines of the `MANIFEST`, which writers replace
+//! atomically — a read never sees a torn file) and, if it moved, opens
+//! a fresh session and retires the old one. In-flight requests keep
+//! their `Arc` until they respond, so a concurrent `ingest`/`compact`
+//! never changes what an already-admitted query sees; the response
+//! header reports the exact generation it was computed against.
+//! Retired sessions are tracked as weak references so `vacuum` can wait
+//! for the last old-generation reader before deleting shard files.
+//!
+//! ## Admission control
+//!
+//! `queue_depth` bounds admitted connections (queued + in flight). At
+//! capacity the acceptor writes a typed `overloaded` response and
+//! closes — the server never buffers unbounded work. Admission is a
+//! counting semaphore (an atomic with check-and-undo acquire); a
+//! connection's permit is released by RAII when the worker finishes
+//! with it, panics included, so permits cannot leak.
+//!
+//! ## Fault containment and shutdown
+//!
+//! Each request runs under `catch_unwind`: a panicking request turns
+//! into an `internal` error response and the worker thread lives on.
+//! Shutdown (the `shutdown` command, or [`ServerHandle::shutdown`])
+//! stops admission, lets every in-flight request finish, answers
+//! queued-but-unstarted connections with a `shutdown` error, and joins
+//! the threads.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use swim_catalog::{Catalog, CatalogError, CatalogOptions, MANIFEST_FILE};
+use swim_obs::{Counter, Gauge, Histogram};
+use swim_query::{cli, Session};
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::protocol::{self, ErrorKind};
+
+static REQUESTS: Counter = Counter::new("serve.requests");
+static RESPONSES_OK: Counter = Counter::new("serve.responses_ok");
+static RESPONSES_ERROR: Counter = Counter::new("serve.responses_error");
+static OVERLOADED: Counter = Counter::new("serve.overloaded");
+static WORKER_PANICS: Counter = Counter::new("serve.worker_panics");
+static SNAPSHOT_REFRESHES: Counter = Counter::new("serve.snapshot_refreshes");
+static QUEUE_DEPTH: Gauge = Gauge::new("serve.queue_depth");
+static REQUEST_US: Histogram = Histogram::new("serve.request_us");
+
+/// How long a blocked read waits before re-checking the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// Bounded wait for old-generation readers to finish before `vacuum`
+/// deletes files: `VACUUM_WAIT_STEPS` sleeps of `VACUUM_WAIT_STEP`.
+const VACUUM_WAIT_STEPS: usize = 500;
+const VACUUM_WAIT_STEP: Duration = Duration::from_millis(10);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Address to bind (host only).
+    pub addr: String,
+    /// Port to bind; 0 picks an ephemeral port (see
+    /// [`ServerHandle::port`]).
+    pub port: u16,
+    /// Worker threads draining the connection queue.
+    pub workers: usize,
+    /// Maximum admitted connections (queued + in flight); past it the
+    /// acceptor answers `overloaded`.
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Allow `ingest`/`compact`/`vacuum` over the wire.
+    pub allow_admin: bool,
+    /// Honour `query --fault panic` (test-only fault injection).
+    pub allow_faults: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1".to_owned(),
+            port: 0,
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 256,
+            allow_admin: false,
+            allow_faults: false,
+        }
+    }
+}
+
+/// Why the server could not start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The catalog directory could not be opened.
+    Open {
+        /// The directory as given.
+        dir: String,
+        /// The underlying catalog error.
+        err: CatalogError,
+    },
+    /// The listen address could not be bound.
+    Bind {
+        /// The `host:port` that failed.
+        addr: String,
+        /// The underlying I/O error.
+        err: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Open { dir, err } => write!(f, "open {dir}: {err}"),
+            ServeError::Bind { addr, err } => write!(f, "bind {addr}: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A point-in-time view of the server, for monitoring and tests (the
+/// `stats` wire command renders the same numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Generation of the current snapshot session.
+    pub generation: u64,
+    /// Admission permits currently held (queued + in-flight
+    /// connections).
+    pub admitted: usize,
+    /// Connections waiting for a worker.
+    pub queued: usize,
+    /// Retired old-generation sessions still referenced by in-flight
+    /// requests.
+    pub retired_sessions: usize,
+    /// Requests read off connections (lifetime).
+    pub requests: u64,
+    /// `ok` responses written (lifetime).
+    pub responses_ok: u64,
+    /// `error` responses written, overloaded rejections excluded
+    /// (lifetime).
+    pub responses_error: u64,
+    /// Connections rejected by admission control (lifetime).
+    pub overloaded: u64,
+    /// Requests that panicked mid-flight and were contained (lifetime).
+    pub worker_panics: u64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+}
+
+struct Shared {
+    dir: PathBuf,
+    options: ServeOptions,
+    local_addr: SocketAddr,
+    /// Current snapshot session; swapped whole on generation change.
+    snapshot: Mutex<Arc<Session>>,
+    /// Old snapshots that may still be held by in-flight requests.
+    retired: Mutex<Vec<Weak<Session>>>,
+    cache: ResultCache,
+    /// Serializes admin mutations (single-writer rule).
+    writer: Mutex<()>,
+    /// Admitted connections waiting for a worker. std Mutex because the
+    /// vendored parking_lot has no Condvar.
+    queue: StdMutex<VecDeque<(TcpStream, Permit)>>,
+    available: Condvar,
+    admitted: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Per-instance lifetime counters: [`ServerStats`] must be correct
+    /// regardless of whether swim-obs metrics are enabled, and must not
+    /// bleed between server instances in one process. The obs statics
+    /// above mirror them into the global metrics registry.
+    requests: AtomicU64,
+    responses_ok: AtomicU64,
+    responses_error: AtomicU64,
+    overloaded: AtomicU64,
+    worker_panics: AtomicU64,
+}
+
+/// RAII admission permit: holding one is holding a slot of
+/// `queue_depth`. Dropped when the worker is done with the connection
+/// (including after a contained panic), so the count cannot leak.
+struct Permit {
+    shared: Arc<Shared>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        // lint: ordering: admission counter only gates capacity; connection handoff is via the queue mutex
+        let now = self.shared.admitted.fetch_sub(1, Ordering::AcqRel) - 1;
+        QUEUE_DEPTH.set(now as i64);
+    }
+}
+
+fn try_admit(shared: &Arc<Shared>) -> Option<Permit> {
+    // lint: ordering: admission counter only gates capacity; connection handoff is via the queue mutex
+    let prev = shared.admitted.fetch_add(1, Ordering::AcqRel);
+    if prev >= shared.options.queue_depth {
+        // lint: ordering: admission counter only gates capacity; undo of the optimistic acquire above
+        shared.admitted.fetch_sub(1, Ordering::AcqRel);
+        return None;
+    }
+    QUEUE_DEPTH.set((prev + 1) as i64);
+    Some(Permit {
+        shared: Arc::clone(shared),
+    })
+}
+
+/// Recover the guard from a poisoned std mutex: the queue holds plain
+/// data (streams and permits), valid regardless of a panicking holder.
+fn lock<'a, T>(m: &'a StdMutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Cheap on-disk generation peek: the first two `MANIFEST` lines.
+/// Writers replace the file atomically (fsynced temp + rename), so a
+/// read sees either the old or the new manifest, never a torn mix.
+fn peek_generation(dir: &Path) -> Option<u64> {
+    let text = std::fs::read_to_string(dir.join(MANIFEST_FILE)).ok()?;
+    let mut lines = text.lines();
+    if !lines.next()?.starts_with("swim-catalog-manifest") {
+        return None;
+    }
+    lines.next()?.strip_prefix("generation ")?.parse().ok()
+}
+
+impl Shared {
+    /// The session requests should execute against: the current
+    /// snapshot, refreshed first if the on-disk generation moved. The
+    /// old session is retired, not dropped — in-flight requests keep
+    /// their `Arc` and finish against the generation they started with.
+    fn current_session(self: &Arc<Self>) -> Arc<Session> {
+        let on_disk = peek_generation(&self.dir);
+        let mut snap = self.snapshot.lock();
+        if let Some(generation) = on_disk {
+            if snap.generation() != Some(generation) {
+                if let Ok(catalog) = Catalog::open(&self.dir) {
+                    let fresh = Arc::new(Session::from_catalog(catalog));
+                    let old = std::mem::replace(&mut *snap, Arc::clone(&fresh));
+                    drop(snap);
+                    let mut retired = self.retired.lock();
+                    retired.retain(|w| w.strong_count() > 0);
+                    retired.push(Arc::downgrade(&old));
+                    SNAPSHOT_REFRESHES.incr();
+                    return fresh;
+                }
+            }
+        }
+        Arc::clone(&snap)
+    }
+
+    fn stats(&self) -> ServerStats {
+        let generation = self.snapshot.lock().generation().unwrap_or(0);
+        let queued = lock(&self.queue).len();
+        let retired_sessions = {
+            let mut retired = self.retired.lock();
+            retired.retain(|w| w.strong_count() > 0);
+            retired.len()
+        };
+        ServerStats {
+            generation,
+            // lint: ordering: statistics read; admission correctness does not depend on this load
+            admitted: self.admitted.load(Ordering::Acquire),
+            queued,
+            retired_sessions,
+            // lint: ordering: statistics counters; no data is published through them
+            requests: self.requests.load(Ordering::Relaxed),
+            // lint: ordering: statistics counters; no data is published through them
+            responses_ok: self.responses_ok.load(Ordering::Relaxed),
+            // lint: ordering: statistics counters; no data is published through them
+            responses_error: self.responses_error.load(Ordering::Relaxed),
+            // lint: ordering: statistics counters; no data is published through them
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            // lint: ordering: statistics counters; no data is published through them
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        // lint: ordering: shutdown flag; workers and the acceptor only ever transition false -> true
+        self.shutdown.store(true, Ordering::Release);
+        self.available.notify_all();
+        // Poke the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        // lint: ordering: shutdown flag; a stale false only delays the drain by one poll interval
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::shutdown`] (or send the `shutdown` command)
+/// and then [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.shared.local_addr.port()
+    }
+
+    /// Point-in-time server statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Begin a graceful shutdown: stop admitting, drain in-flight
+    /// requests. Returns immediately; [`ServerHandle::join`] waits.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Wait until the server has fully stopped (after a `shutdown`
+    /// command or [`ServerHandle::shutdown`]).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+    pub fn shutdown_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Open the catalog at `dir`, bind, and start the acceptor and worker
+/// threads. Returns once the server is listening.
+pub fn serve(dir: impl AsRef<Path>, options: ServeOptions) -> Result<ServerHandle, ServeError> {
+    let dir = dir.as_ref().to_path_buf();
+    let dir_text = dir.display().to_string();
+    let catalog = Catalog::open(&dir).map_err(|err| ServeError::Open {
+        dir: dir_text.clone(),
+        err,
+    })?;
+    let bind_addr = format!("{}:{}", options.addr, options.port);
+    let listener = TcpListener::bind(&bind_addr).map_err(|err| ServeError::Bind {
+        addr: bind_addr.clone(),
+        err,
+    })?;
+    let local_addr = listener.local_addr().map_err(|err| ServeError::Bind {
+        addr: bind_addr,
+        err,
+    })?;
+    let workers = options.workers.max(1);
+    let cache_capacity = options.cache_capacity;
+    let shared = Arc::new(Shared {
+        dir,
+        options,
+        local_addr,
+        snapshot: Mutex::new(Arc::new(Session::from_catalog(catalog))),
+        retired: Mutex::new(Vec::new()),
+        cache: ResultCache::new(cache_capacity),
+        writer: Mutex::new(()),
+        queue: StdMutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        admitted: AtomicUsize::new(0),
+        shutdown: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        responses_ok: AtomicU64::new(0),
+        responses_error: AtomicU64::new(0),
+        overloaded: AtomicU64::new(0),
+        worker_panics: AtomicU64::new(0),
+    });
+    let mut worker_handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let shared = Arc::clone(&shared);
+        worker_handles.push(std::thread::spawn(move || worker_loop(&shared)));
+    }
+    let acceptor_shared = Arc::clone(&shared);
+    let acceptor = std::thread::spawn(move || accept_loop(listener, &acceptor_shared));
+    Ok(ServerHandle {
+        shared,
+        acceptor: Some(acceptor),
+        workers: worker_handles,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.is_shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        match try_admit(shared) {
+            Some(permit) => {
+                lock(&shared.queue).push_back((stream, permit));
+                shared.available.notify_one();
+            }
+            None => {
+                OVERLOADED.incr();
+                // lint: ordering: statistics counter; no data is published through it
+                shared.overloaded.fetch_add(1, Ordering::Relaxed);
+                let mut stream = stream;
+                let _ = protocol::write_error(
+                    &mut stream,
+                    ErrorKind::Overloaded,
+                    "server is at queue capacity; retry later",
+                );
+            }
+        }
+    }
+    // Make sure no worker stays parked on an empty queue.
+    shared.available.notify_all();
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let next = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(item) = queue.pop_front() {
+                    break Some(item);
+                }
+                if shared.is_shutting_down() {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let Some((stream, permit)) = next else { return };
+        if shared.is_shutting_down() {
+            // Admitted but never started: tell the client instead of
+            // silently dropping the connection.
+            let mut stream = stream;
+            let _ =
+                protocol::write_error(&mut stream, ErrorKind::Shutdown, "server is shutting down");
+            drop(permit);
+            continue;
+        }
+        handle_connection(shared, stream);
+        drop(permit);
+    }
+}
+
+/// Read request lines until the client closes (or shutdown drains us),
+/// answering each through the shared snapshot/cache machinery. A panic
+/// inside a request is contained here: the client gets an `internal`
+/// error and the connection (and worker) lives on.
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        if !read_request_line(shared, &mut reader, &mut buf) {
+            return;
+        }
+        let line_text = String::from_utf8_lossy(&buf);
+        let line = line_text.trim();
+        if line.is_empty() {
+            continue;
+        }
+        REQUESTS.incr();
+        // lint: ordering: statistics counter; no data is published through it
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (outcome, elapsed) = swim_obs::timed("serve.request", || {
+            catch_unwind(AssertUnwindSafe(|| process_request(shared, line)))
+        });
+        REQUEST_US.record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        match outcome {
+            Ok((response, action)) => {
+                if stream.write_all(&response).is_err() {
+                    // Client dropped mid-response; the permit is
+                    // released by our caller, nothing leaks.
+                    return;
+                }
+                let _ = stream.flush();
+                match action {
+                    Action::Continue => {}
+                    Action::Shutdown => {
+                        shared.begin_shutdown();
+                        return;
+                    }
+                }
+            }
+            Err(_) => {
+                WORKER_PANICS.incr();
+                RESPONSES_ERROR.incr();
+                // lint: ordering: statistics counters; no data is published through them
+                shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                // lint: ordering: statistics counters; no data is published through them
+                shared.responses_error.fetch_add(1, Ordering::Relaxed);
+                if protocol::write_error(
+                    &mut stream,
+                    ErrorKind::Internal,
+                    "worker panicked while serving the request",
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Accumulate one `\n`-terminated line into `buf`, polling the shutdown
+/// flag across read timeouts. Returns `false` when the connection is
+/// done (clean EOF, I/O error, or shutdown drain).
+fn read_request_line(
+    shared: &Shared,
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+) -> bool {
+    loop {
+        match reader.read_until(b'\n', buf) {
+            // EOF: serve a final unterminated line if one accumulated.
+            Ok(0) => return !buf.is_empty(),
+            Ok(_) => {
+                if buf.ends_with(b"\n") {
+                    return true;
+                }
+                // read_until returned without a delimiter: EOF mid-line.
+                return !buf.is_empty();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Partial bytes read before the timeout stay in `buf`.
+                if shared.is_shutting_down() {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}
+
+enum Action {
+    Continue,
+    Shutdown,
+}
+
+fn ok_response(shared: &Shared, generation: u64, cached: bool, body: &[u8]) -> (Vec<u8>, Action) {
+    RESPONSES_OK.incr();
+    // lint: ordering: statistics counter; no data is published through it
+    shared.responses_ok.fetch_add(1, Ordering::Relaxed);
+    (
+        protocol::encode_ok(generation, cached, body),
+        Action::Continue,
+    )
+}
+
+fn error_response(shared: &Shared, kind: ErrorKind, message: &str) -> (Vec<u8>, Action) {
+    RESPONSES_ERROR.incr();
+    // lint: ordering: statistics counter; no data is published through it
+    shared.responses_error.fetch_add(1, Ordering::Relaxed);
+    (protocol::encode_error(kind, message), Action::Continue)
+}
+
+fn process_request(shared: &Arc<Shared>, line: &str) -> (Vec<u8>, Action) {
+    let tokens = match protocol::tokenize(line) {
+        Ok(t) => t,
+        Err(msg) => return error_response(shared, ErrorKind::BadRequest, &msg),
+    };
+    let Some((command, rest)) = tokens.split_first() else {
+        return error_response(shared, ErrorKind::BadRequest, "empty request");
+    };
+    match command.as_str() {
+        "ping" => {
+            let generation = shared.current_session().generation().unwrap_or(0);
+            ok_response(shared, generation, false, b"pong\n")
+        }
+        "query" => handle_query(shared, rest),
+        "stats" => handle_stats(shared, rest),
+        "ingest" => handle_ingest(shared, rest),
+        "compact" => handle_compact(shared, rest),
+        "vacuum" => handle_vacuum(shared, rest),
+        "shutdown" => {
+            let generation = shared.snapshot.lock().generation().unwrap_or(0);
+            RESPONSES_OK.incr();
+            (
+                protocol::encode_ok(generation, false, b"shutting down\n"),
+                Action::Shutdown,
+            )
+        }
+        other => error_response(
+            shared,
+            ErrorKind::BadRequest,
+            &format!("unknown command {other} (expected ping, query, stats, ingest, compact, vacuum, or shutdown)"),
+        ),
+    }
+}
+
+fn handle_query(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
+    let mut flags = cli::QueryFlags::new();
+    let mut fault_panic = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--fault" {
+            match iter.next().map(String::as_str) {
+                Some("panic") => fault_panic = true,
+                Some(other) => {
+                    return error_response(
+                        shared,
+                        ErrorKind::BadRequest,
+                        &format!("unknown fault {other} (expected panic)"),
+                    )
+                }
+                None => {
+                    return error_response(
+                        shared,
+                        ErrorKind::BadRequest,
+                        "--fault requires a value",
+                    )
+                }
+            }
+            continue;
+        }
+        let accepted = flags.accept(arg, || {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        });
+        match accepted {
+            Ok(true) => {}
+            Ok(false) => {
+                return error_response(
+                    shared,
+                    ErrorKind::BadRequest,
+                    &format!("unexpected argument {arg}"),
+                )
+            }
+            Err(msg) => return error_response(shared, ErrorKind::BadRequest, &msg),
+        }
+    }
+    if let Err(msg) = flags.validate() {
+        return error_response(shared, ErrorKind::BadRequest, &msg);
+    }
+    if flags.explain || flags.profile {
+        return error_response(
+            shared,
+            ErrorKind::BadRequest,
+            "--explain and --profile are not available over the wire",
+        );
+    }
+    let query = match flags.build_query() {
+        Ok(q) => q,
+        Err(msg) => return error_response(shared, ErrorKind::BadRequest, &msg),
+    };
+    if fault_panic {
+        if !shared.options.allow_faults {
+            return error_response(
+                shared,
+                ErrorKind::BadRequest,
+                "--fault requires a server started with fault injection enabled",
+            );
+        }
+        // Deliberately kill this worker mid-request; handle_connection
+        // contains the unwind and the test battery asserts recovery.
+        panic!("injected fault: --fault panic");
+    }
+    let session = shared.current_session();
+    let generation = session.generation().unwrap_or(0);
+    // The typed Query's Debug form is deterministic, so it is the
+    // canonical cache key (`--serial` is excluded on purpose: parallel
+    // and serial execution are bit-identical).
+    let canonical = format!("{query:?}");
+    let (result, cached) = match shared.cache.lookup(generation, &canonical) {
+        Some(hit) => (hit, true),
+        None => match session.execute(&query, flags.serial) {
+            Ok(fresh) => {
+                let fresh = Arc::new(fresh);
+                shared
+                    .cache
+                    .insert(generation, canonical, Arc::clone(&fresh));
+                (fresh, false)
+            }
+            Err(e) => return error_response(shared, ErrorKind::Internal, &e.to_string()),
+        },
+    };
+    let title = format!("swim-serve: generation {generation}");
+    let mut body = cli::render_for(&result.output, flags.format, &title).into_bytes();
+    body.extend_from_slice(result.summary.as_bytes());
+    body.push(b'\n');
+    ok_response(shared, generation, cached, &body)
+}
+
+fn handle_stats(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
+    if !args.is_empty() {
+        return error_response(shared, ErrorKind::BadRequest, "stats takes no arguments");
+    }
+    let stats = shared.stats();
+    let body = format!(
+        "generation: {}\nadmitted: {}\nqueued: {}\nretired_sessions: {}\nrequests: {}\n\
+         responses_ok: {}\nresponses_error: {}\noverloaded: {}\nworker_panics: {}\n\
+         cache: hits={} misses={} evictions={} entries={} capacity={}\n",
+        stats.generation,
+        stats.admitted,
+        stats.queued,
+        stats.retired_sessions,
+        stats.requests,
+        stats.responses_ok,
+        stats.responses_error,
+        stats.overloaded,
+        stats.worker_panics,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.evictions,
+        stats.cache.entries,
+        stats.cache.capacity,
+    );
+    ok_response(shared, stats.generation, false, body.as_bytes())
+}
+
+fn admin_gate(shared: &Shared) -> Option<(Vec<u8>, Action)> {
+    if shared.options.allow_admin {
+        None
+    } else {
+        Some(error_response(
+            shared,
+            ErrorKind::BadRequest,
+            "admin commands are disabled (start the server with --admin)",
+        ))
+    }
+}
+
+fn handle_ingest(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
+    if let Some(denied) = admin_gate(shared) {
+        return denied;
+    }
+    let [path] = args else {
+        return error_response(
+            shared,
+            ErrorKind::BadRequest,
+            "ingest requires exactly one trace path",
+        );
+    };
+    let _writer = shared.writer.lock();
+    let mut catalog = match Catalog::open(&shared.dir) {
+        Ok(c) => c,
+        Err(e) => return error_response(shared, ErrorKind::Internal, &e.to_string()),
+    };
+    match catalog.ingest_path(path, 100, &CatalogOptions::default()) {
+        Ok(stats) => {
+            let generation = catalog.generation();
+            drop(catalog);
+            // Publish the new generation to subsequent requests now
+            // rather than on their first post-ingest peek.
+            let _ = shared.current_session();
+            let body = format!(
+                "ingested: shards={} jobs={} generation={generation}\n",
+                stats.shards, stats.jobs
+            );
+            ok_response(shared, generation, false, body.as_bytes())
+        }
+        Err(e) => error_response(shared, ErrorKind::Internal, &e.to_string()),
+    }
+}
+
+fn handle_compact(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
+    if let Some(denied) = admin_gate(shared) {
+        return denied;
+    }
+    if !args.is_empty() {
+        return error_response(shared, ErrorKind::BadRequest, "compact takes no arguments");
+    }
+    let _writer = shared.writer.lock();
+    let mut catalog = match Catalog::open(&shared.dir) {
+        Ok(c) => c,
+        Err(e) => return error_response(shared, ErrorKind::Internal, &e.to_string()),
+    };
+    match catalog.compact(&CatalogOptions::default()) {
+        Ok(stats) => {
+            let generation = catalog.generation();
+            drop(catalog);
+            let _ = shared.current_session();
+            let body = format!(
+                "compacted: rewritten={} created={} jobs={} generation={generation}\n",
+                stats.rewritten, stats.created, stats.jobs
+            );
+            ok_response(shared, generation, false, body.as_bytes())
+        }
+        Err(e) => error_response(shared, ErrorKind::Internal, &e.to_string()),
+    }
+}
+
+fn handle_vacuum(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
+    if let Some(denied) = admin_gate(shared) {
+        return denied;
+    }
+    if !args.is_empty() {
+        return error_response(shared, ErrorKind::BadRequest, "vacuum takes no arguments");
+    }
+    let _writer = shared.writer.lock();
+    // Move the current snapshot to the latest generation first, so the
+    // view vacuum deletes against is the one new requests use …
+    let session = shared.current_session();
+    // … then wait (bounded) for in-flight readers of older generations
+    // to drop their sessions: their shard files may be exactly what
+    // vacuum is about to delete.
+    let mut old_readers = 0usize;
+    for step in 0..=VACUUM_WAIT_STEPS {
+        old_readers = {
+            let mut retired = shared.retired.lock();
+            retired.retain(|w| w.strong_count() > 0);
+            retired.len()
+        };
+        if old_readers == 0 {
+            break;
+        }
+        if step < VACUUM_WAIT_STEPS {
+            std::thread::sleep(VACUUM_WAIT_STEP);
+        }
+    }
+    if old_readers > 0 {
+        return error_response(
+            shared,
+            ErrorKind::Internal,
+            "vacuum timed out waiting for in-flight readers on old generations",
+        );
+    }
+    let Some(catalog) = session.catalog() else {
+        return error_response(
+            shared,
+            ErrorKind::Internal,
+            "server session is not catalog-backed",
+        );
+    };
+    match catalog.vacuum() {
+        Ok(removed) => {
+            let generation = catalog.generation();
+            let body = format!("vacuumed: files={removed} generation={generation}\n");
+            ok_response(shared, generation, false, body.as_bytes())
+        }
+        Err(e) => error_response(shared, ErrorKind::Internal, &e.to_string()),
+    }
+}

@@ -1,0 +1,83 @@
+//! Shared fixtures for the swim-serve test battery: deterministic
+//! traces, temp catalogs, and tiny protocol clients.
+
+#![allow(dead_code)] // each test target uses a subset
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use swim_catalog::{Catalog, CatalogOptions};
+use swim_serve::protocol::{self, Response};
+use swim_trace::trace::WorkloadKind;
+use swim_trace::{DataSize, Dur, JobBuilder, Timestamp, Trace};
+
+/// A fresh scratch directory per call.
+pub fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("swim-serve-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A deterministic trace whose contents vary with `seed` (so every
+/// ingest visibly changes query results).
+pub fn demo_trace(seed: u64, jobs: u64) -> Trace {
+    let jobs = (0..jobs)
+        .map(|i| {
+            let x = i.wrapping_mul(2654435761).wrapping_add(seed * 97);
+            JobBuilder::new(seed * 1_000_000 + i)
+                .submit(Timestamp::from_secs(i * 60 + seed))
+                .duration(Dur::from_secs(30 + x % 240))
+                .input(DataSize::from_mb(1 + x % 256))
+                .map_task_time(Dur::from_secs(60 + x % 90))
+                .tasks(1 + (x % 8) as u32, 0)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    Trace::new(WorkloadKind::Custom(format!("serve-{seed}")), 50, jobs).unwrap()
+}
+
+/// Init a catalog at `dir` and ingest one seed-0 trace (generation 1).
+pub fn init_catalog(dir: &PathBuf, jobs: u64) -> Catalog {
+    let mut catalog = Catalog::init(dir).unwrap();
+    catalog
+        .ingest_trace(&demo_trace(0, jobs), &CatalogOptions::default())
+        .unwrap();
+    catalog
+}
+
+/// Write a `.swim` trace file the server's `ingest` command can stream.
+pub fn write_trace_file(path: &PathBuf, seed: u64, jobs: u64) {
+    let bytes = swim_store::store_to_vec(
+        &demo_trace(seed, jobs),
+        &swim_store::StoreOptions::default(),
+    );
+    std::fs::write(path, bytes).unwrap();
+}
+
+/// Connect with retry (the server thread may still be binding).
+pub fn connect(addr: SocketAddr) -> TcpStream {
+    for _ in 0..100 {
+        if let Ok(stream) = TcpStream::connect(addr) {
+            return stream;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("could not connect to {addr}");
+}
+
+/// One request over a fresh connection; panics on I/O failure.
+pub fn request(addr: SocketAddr, line: &str) -> Response {
+    let mut stream = connect(addr);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    protocol::write_request(&mut stream, line).unwrap();
+    let mut reader = BufReader::new(stream);
+    protocol::read_response(&mut reader).unwrap()
+}

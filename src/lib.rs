@@ -33,7 +33,11 @@
 //! * [`obs`] — the zero-dependency observability layer (counters,
 //!   gauges, nearest-rank histograms, hierarchical timed spans) that
 //!   every other crate instruments its hot paths with, surfaced through
-//!   `swim-query --explain` / `--profile` and a JSONL sink.
+//!   `swim-query --explain` / `--profile` and a JSONL sink;
+//! * [`serve`] — a resident threaded TCP query server over a catalog
+//!   directory: snapshot-isolated concurrent reads across
+//!   `ingest`/`compact`/`vacuum`, bounded admission control, and a
+//!   per-generation result cache (the `swim-serve` binary).
 //!
 //! ## Quick start
 //!
@@ -64,6 +68,7 @@ pub use swim_core as core;
 pub use swim_obs as obs;
 pub use swim_query as query;
 pub use swim_report as report;
+pub use swim_serve as serve;
 pub use swim_sim as sim;
 pub use swim_store as store;
 pub use swim_synth as synth;
