@@ -16,5 +16,6 @@ pub mod corpus;
 pub mod experiments;
 pub mod render;
 pub mod serveload;
+pub mod top;
 
 pub use corpus::{Corpus, CorpusScale};

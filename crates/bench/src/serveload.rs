@@ -11,8 +11,14 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use swim_core::stats::Ecdf;
+use swim_obs::{clock, WindowedHistogram};
 use swim_report::{Block, KeyValueBlock, Section};
 use swim_serve::protocol::{self, ErrorKind, Response};
+
+/// Width of one client-side latency window bucket.
+pub const WINDOW_BUCKET_MS: u64 = 500;
+/// Client-side latency window buckets (`500ms * 120` = one minute).
+pub const WINDOW_BUCKETS: usize = 120;
 
 /// A representative query mix: global aggregates, a group-by, a
 /// predicate, and both alternative output formats.
@@ -68,6 +74,11 @@ pub struct LoadReport {
     pub cached: u64,
     /// Per-request wall-clock latencies, microseconds.
     pub latencies_us: Vec<u64>,
+    /// Per-bucket mean latency (microseconds) over the run's windowed
+    /// histogram — the same `swim-obs` windowed type the server records
+    /// into, here fed client-side. One entry per live 500 ms bucket, in
+    /// time order; the report renders it as a sparkline.
+    pub window_mean_us: Vec<f64>,
 }
 
 impl LoadReport {
@@ -91,6 +102,9 @@ fn connect(addr: SocketAddr) -> std::io::Result<TcpStream> {
         match TcpStream::connect(addr) {
             Ok(stream) => {
                 stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+                // Requests are single small writes; without nodelay the
+                // measured latency is mostly Nagle/delayed-ACK stall.
+                stream.set_nodelay(true)?;
                 return Ok(stream);
             }
             Err(e) => {
@@ -120,7 +134,7 @@ struct ClientStats {
     latencies_us: Vec<u64>,
 }
 
-fn run_client(config: &LoadConfig, client: usize) -> ClientStats {
+fn run_client(config: &LoadConfig, client: usize, window: &WindowedHistogram) -> ClientStats {
     let mut stats = ClientStats {
         ok: 0,
         errors: 0,
@@ -155,9 +169,9 @@ fn run_client(config: &LoadConfig, client: usize) -> ClientStats {
                 if resp.cached {
                     stats.cached += 1;
                 }
-                stats
-                    .latencies_us
-                    .push(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+                let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+                stats.latencies_us.push(us);
+                window.record(us);
             }
             Ok(resp) if resp.kind == Some(ErrorKind::Overloaded) => {
                 // The acceptor rejected and closed this connection;
@@ -182,11 +196,12 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
         requests: (config.clients * config.requests_per_client) as u64,
         ..LoadReport::default()
     });
+    let window = WindowedHistogram::new(WINDOW_BUCKET_MS, WINDOW_BUCKETS);
     std::thread::scope(|scope| {
         for client in 0..config.clients {
-            let merged = &merged;
+            let (merged, window) = (&merged, &window);
             scope.spawn(move || {
-                let stats = run_client(config, client);
+                let stats = run_client(config, client, window);
                 let mut report = merged.lock().expect("no panics hold this lock");
                 report.ok += stats.ok;
                 report.errors += stats.errors;
@@ -198,6 +213,12 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
     });
     let mut report = merged.into_inner().expect("no panics hold this lock");
     report.latencies_us.sort_unstable();
+    report.window_mean_us = window
+        .buckets_at(clock::now_ms())
+        .iter()
+        .filter(|b| b.count > 0)
+        .map(|b| b.sum as f64 / b.count as f64)
+        .collect();
     if config.shutdown_after {
         if let Ok(mut stream) = connect(config.addr) {
             let mut reader = match stream.try_clone() {
@@ -240,6 +261,17 @@ pub fn render(report: &LoadReport, mask: bool) -> String {
         ],
         11,
     )));
+    // Windowed mean-latency sparkline (500 ms buckets): pure timing
+    // data, so it is emptied under `mask` like the percentiles.
+    if mask {
+        section.push(Block::spark("latency win", Vec::new(), " (masked)"));
+    } else {
+        section.push(Block::spark(
+            "latency win",
+            report.window_mean_us.clone(),
+            format!(" mean us per {WINDOW_BUCKET_MS}ms bucket"),
+        ));
+    }
     section.render_text()
 }
 

@@ -1,0 +1,161 @@
+//! The flight recorder: a bounded ring of recent span events.
+//!
+//! Aggregated span statistics ([`crate::Snapshot::spans`]) answer "how
+//! slow is this path on average"; the flight recorder answers "what
+//! were the last N things that happened, and how long did each take" —
+//! the question an operator asks right after noticing a latency spike.
+//! Every span close lands here while spans are enabled, and callers
+//! (the server's request loop) can push events explicitly with a
+//! request id attached, independent of the enable mask.
+//!
+//! Memory is strictly bounded: the ring holds at most
+//! [`capacity`] events (default [`DEFAULT_CAPACITY`]); older events
+//! are dropped. Events carry a global sequence number so a consumer
+//! polling [`recent`] can tell how many it missed.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::clock;
+
+/// Default ring capacity.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global sequence number, 1-based, monotonic across the process.
+    pub seq: u64,
+    /// Caller-supplied id (the server's request id); `None` for events
+    /// recorded automatically from span closes.
+    pub id: Option<u64>,
+    /// `/`-joined span path (or caller-supplied label).
+    pub path: String,
+    /// Process-clock milliseconds at which the event closed.
+    pub at_ms: u64,
+    /// Elapsed nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct Ring {
+    events: VecDeque<FlightEvent>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+static RING: Mutex<Option<Ring>> = Mutex::new(None);
+
+fn with_ring<T>(f: impl FnOnce(&mut Ring) -> T) -> T {
+    let mut guard = RING
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    f(guard.get_or_insert_with(|| Ring {
+        events: VecDeque::with_capacity(DEFAULT_CAPACITY),
+        capacity: DEFAULT_CAPACITY,
+        next_seq: 0,
+    }))
+}
+
+/// Current ring capacity.
+pub fn capacity() -> usize {
+    with_ring(|r| r.capacity)
+}
+
+/// Resize the ring (clamped to at least 1). Shrinking drops the oldest
+/// events immediately.
+pub fn set_capacity(capacity: usize) {
+    with_ring(|r| {
+        r.capacity = capacity.max(1);
+        while r.events.len() > r.capacity {
+            r.events.pop_front();
+        }
+    });
+}
+
+/// Record an event with an attached id (the server tags request events
+/// with their monotonic request id). Returns the event's sequence
+/// number. Always records — explicit calls are not mask-gated.
+pub fn record_with_id(path: &str, id: u64, elapsed: Duration) -> u64 {
+    push(path, Some(id), elapsed)
+}
+
+/// Record an anonymous event. Returns the event's sequence number.
+pub fn record(path: &str, elapsed: Duration) -> u64 {
+    push(path, None, elapsed)
+}
+
+fn push(path: &str, id: Option<u64>, elapsed: Duration) -> u64 {
+    let at_ms = clock::now_ms();
+    let dur_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    with_ring(|r| {
+        r.next_seq += 1;
+        while r.events.len() >= r.capacity {
+            r.events.pop_front();
+        }
+        r.events.push_back(FlightEvent {
+            seq: r.next_seq,
+            id,
+            path: path.to_owned(),
+            at_ms,
+            dur_ns,
+        });
+        r.next_seq
+    })
+}
+
+/// The retained events, oldest first.
+pub fn recent() -> Vec<FlightEvent> {
+    with_ring(|r| r.events.iter().cloned().collect())
+}
+
+/// Drop every retained event (sequence numbers keep counting).
+pub fn clear() {
+    with_ring(|r| r.events.clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let _guard = crate::test_support::serialize();
+        clear();
+        set_capacity(4);
+        for i in 0..10u64 {
+            record_with_id("test.flight", i, Duration::from_nanos(i));
+        }
+        let events = recent();
+        assert_eq!(events.len(), 4, "older events dropped");
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(events[3].id, Some(9));
+        assert_eq!(events[0].path, "test.flight");
+        // Growing the capacity keeps what we have; clearing drops it.
+        set_capacity(DEFAULT_CAPACITY);
+        assert_eq!(recent().len(), 4);
+        clear();
+        assert!(recent().is_empty());
+        // Sequence numbers survive a clear.
+        let seq = record("test.flight.after", Duration::ZERO);
+        assert!(seq > 10);
+        clear();
+    }
+
+    #[test]
+    fn shrinking_capacity_truncates() {
+        let _guard = crate::test_support::serialize();
+        clear();
+        set_capacity(8);
+        for _ in 0..8 {
+            record("test.flight.shrink", Duration::ZERO);
+        }
+        set_capacity(2);
+        assert_eq!(recent().len(), 2);
+        assert_eq!(capacity(), 2);
+        set_capacity(0);
+        assert_eq!(capacity(), 1, "capacity clamps to 1");
+        set_capacity(DEFAULT_CAPACITY);
+        clear();
+    }
+}

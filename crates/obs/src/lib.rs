@@ -29,6 +29,18 @@
 //! programmatically ([`set_enabled`]) — `swim-query --profile` forces
 //! everything on for the duration of the query.
 //!
+//! For **resident processes** (the `swim-serve` server) three further
+//! pieces provide live telemetry at bounded memory:
+//!
+//! * [`window`] — [`WindowedHistogram`] / [`WindowedCounter`]: "last
+//!   minute" distributions and rates over a ring of fixed-duration
+//!   buckets, O(buckets) memory however many events are recorded,
+//!   rotation driven by injectable timestamps ([`clock`]).
+//! * [`flight`] — a bounded ring of the most recent span events, for
+//!   "what just happened" forensics next to the aggregates.
+//! * [`Snapshot::delta`] — difference two snapshots to turn lifetime
+//!   counters into rates (`swim-top`'s polling primitive).
+//!
 //! ```
 //! use swim_obs::{set_enabled, snapshot, Counter, METRICS};
 //!
@@ -43,14 +55,19 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod clock;
+pub mod flight;
 pub mod jsonl;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod window;
 
+pub use flight::FlightEvent;
 pub use metrics::{quantile_of_sorted, Counter, Gauge, Histogram};
 pub use registry::{reset, snapshot, HistogramSample, Registry, Snapshot, SpanSample};
 pub use span::{span, timed, SpanGuard};
+pub use window::{BucketSummary, WindowSummary, WindowedCounter, WindowedHistogram};
 
 use std::sync::atomic::{AtomicU32, Ordering};
 

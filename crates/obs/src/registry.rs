@@ -164,6 +164,53 @@ impl Snapshot {
             && self.histograms.is_empty()
             && self.spans.is_empty()
     }
+
+    /// What happened between `earlier` and `self`: the rate-computation
+    /// primitive behind `swim-top`.
+    ///
+    /// * **Counters** and **span count/total** are differenced
+    ///   (saturating, so a counter reset between snapshots reads as 0
+    ///   rather than wrapping); instruments absent from `earlier`
+    ///   contribute their full value.
+    /// * **Gauges** are levels and **histogram quantiles** are not
+    ///   differentiable, so both carry the later snapshot's values
+    ///   unchanged.
+    ///
+    /// Only instruments present in `self` appear in the delta, and
+    /// span `min_ns`/`max_ns` keep the later snapshot's lifetime
+    /// values.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, value)| {
+                let before = earlier.counter(name).unwrap_or(0);
+                (name.clone(), value.saturating_sub(before))
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                let (count_before, total_before) = earlier
+                    .span(&s.path)
+                    .map_or((0, 0), |e| (e.count, e.total_ns));
+                SpanSample {
+                    path: s.path.clone(),
+                    count: s.count.saturating_sub(count_before),
+                    total_ns: s.total_ns.saturating_sub(total_before),
+                    min_ns: s.min_ns,
+                    max_ns: s.max_ns,
+                }
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+            spans,
+        }
+    }
 }
 
 /// Freeze the registry into a [`Snapshot`].
@@ -224,6 +271,45 @@ mod tests {
     use super::*;
     use crate::test_support;
     use crate::{set_enabled, ALL};
+
+    #[test]
+    fn delta_differences_counters_and_spans_only() {
+        let earlier = Snapshot {
+            counters: vec![("a".into(), 10), ("gone".into(), 99)],
+            gauges: vec![("g".into(), 1)],
+            histograms: Vec::new(),
+            spans: vec![SpanSample {
+                path: "p".into(),
+                count: 2,
+                total_ns: 100,
+                min_ns: 40,
+                max_ns: 60,
+            }],
+        };
+        let later = Snapshot {
+            counters: vec![("a".into(), 25), ("new".into(), 7)],
+            gauges: vec![("g".into(), 5)],
+            histograms: Vec::new(),
+            spans: vec![SpanSample {
+                path: "p".into(),
+                count: 5,
+                total_ns: 450,
+                min_ns: 30,
+                max_ns: 200,
+            }],
+        };
+        let delta = later.delta(&earlier);
+        assert_eq!(delta.counter("a"), Some(15));
+        assert_eq!(delta.counter("new"), Some(7), "absent-before = full value");
+        assert_eq!(delta.counter("gone"), None, "only later instruments appear");
+        assert_eq!(delta.gauge("g"), Some(5), "gauges carry the later level");
+        let span = delta.span("p").unwrap();
+        assert_eq!((span.count, span.total_ns), (3, 350));
+        assert_eq!((span.min_ns, span.max_ns), (30, 200));
+        // A counter reset between snapshots saturates to 0, not wrap.
+        let reset = earlier.delta(&later);
+        assert_eq!(reset.counter("a"), Some(0));
+    }
 
     static SNAP_COUNTER: Counter = Counter::new("test.registry.counter");
     static SNAP_GAUGE: Gauge = Gauge::new("test.registry.gauge");

@@ -11,6 +11,10 @@
 //! returns) the wall-clock duration, and *additionally* records a span
 //! when the [`crate::SPANS`] bit is on. Benches use it instead
 //! of ad-hoc `Instant::now()` pairs.
+//!
+//! While spans are enabled, every span close is also pushed into the
+//! bounded [`crate::flight`] recorder ring, so the most recent
+//! individual events stay inspectable next to the aggregates.
 
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
@@ -48,6 +52,7 @@ pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, Duration) {
     if let Some(path) = path {
         pop();
         registry::record_span(&path, elapsed);
+        crate::flight::record(&path, elapsed);
     }
     (out, elapsed)
 }
@@ -90,6 +95,7 @@ impl Drop for SpanGuard {
             let elapsed = active.start.elapsed();
             pop();
             registry::record_span(&active.path, elapsed);
+            crate::flight::record(&active.path, elapsed);
         }
     }
 }

@@ -4,15 +4,17 @@
 //! ```text
 //! swim-serve --catalog DIR [--addr HOST] [--port N] [--workers N]
 //!            [--queue-depth N] [--cache N] [--admin] [--print-port]
+//!            [--access-log FILE]
 //! ```
 //!
 //! The server binds (port 0 picks an ephemeral port; `--print-port`
 //! writes the chosen port to stdout for scripts), then answers
-//! line-protocol requests (`query …`, `ping`, `stats`, and — with
-//! `--admin` — `ingest`/`compact`/`vacuum`) until a `shutdown` request
-//! arrives. Defaults for the pool come from the environment:
+//! line-protocol requests (`query …`, `ping`, `stats`, `metrics`, and
+//! — with `--admin` — `ingest`/`compact`/`vacuum`) until a `shutdown`
+//! request arrives. Defaults for the pool come from the environment:
 //! `SWIM_SERVE_WORKERS`, `SWIM_SERVE_QUEUE_DEPTH`, and
-//! `SWIM_SERVE_CACHE` (flags override).
+//! `SWIM_SERVE_CACHE` (flags override); `SWIM_SERVE_ACCESS_LOG` names
+//! a JSONL access-log file, same as `--access-log`.
 //!
 //! Exit discipline matches the other binaries: usage errors exit 2 with
 //! the usage text, runtime errors (missing catalog, port in use) exit 1;
@@ -22,14 +24,16 @@ use std::process::ExitCode;
 use swim_serve::{serve, ServeOptions};
 
 const USAGE: &str = "usage: swim-serve --catalog DIR [--addr HOST] [--port N] [--workers N] \
- [--queue-depth N] [--cache N] [--admin] [--print-port]\n\
+ [--queue-depth N] [--cache N] [--admin] [--print-port] [--access-log FILE]\n\
  serves swim-query requests over a line protocol until a shutdown request arrives\n\
  --port 0 (the default) picks an ephemeral port; --print-port writes it to stdout\n\
  --workers N       worker threads (default SWIM_SERVE_WORKERS or 4)\n\
  --queue-depth N   max admitted connections before `overloaded` \
  (default SWIM_SERVE_QUEUE_DEPTH or 64)\n\
  --cache N         result-cache entries, 0 disables (default SWIM_SERVE_CACHE or 256)\n\
- --admin           allow ingest/compact/vacuum over the wire";
+ --admin           allow ingest/compact/vacuum over the wire\n\
+ --access-log FILE append one JSON line per request \
+ (default SWIM_SERVE_ACCESS_LOG; unset disables)";
 
 /// Usage errors exit 2 with the usage text; runtime errors exit 1
 /// without it. Both start stderr with `error: …` (the PR-7 convention).
@@ -78,6 +82,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         workers: env_usize("SWIM_SERVE_WORKERS", 4)?,
         queue_depth: env_usize("SWIM_SERVE_QUEUE_DEPTH", 64)?,
         cache_capacity: env_usize("SWIM_SERVE_CACHE", 256)?,
+        access_log: std::env::var_os("SWIM_SERVE_ACCESS_LOG").map(std::path::PathBuf::from),
         ..ServeOptions::default()
     };
     let mut catalog = String::new();
@@ -107,6 +112,9 @@ fn parse_args() -> Result<Option<Args>, String> {
                 options.queue_depth = parse_num("--queue-depth", next("--queue-depth")?)?;
             }
             "--cache" => options.cache_capacity = parse_num("--cache", next("--cache")?)?,
+            "--access-log" => {
+                options.access_log = Some(std::path::PathBuf::from(next("--access-log")?));
+            }
             "--admin" => options.allow_admin = true,
             "--print-port" => print_port = true,
             "--help" | "-h" => return Ok(None),

@@ -29,6 +29,14 @@
 //! The wire protocol ([`protocol`]) is a hand-rolled line protocol:
 //! one request per line (`query --select count --where "input > 1gb"`,
 //! `ping`, `stats`, …), one length-prefixed response per request.
+//!
+//! Because the server is resident, it also carries a **live telemetry
+//! layer** ([`telemetry`]): every request gets a monotonic id (attached
+//! to its `swim-obs` flight-recorder event and to an optional JSONL
+//! access log), latencies land in bounded *windowed* histograms keyed
+//! by request class (query/cached/admin), and the read-only `stats` /
+//! `metrics` wire commands expose it all as text or fixed-shape JSON —
+//! what `swim-top` polls.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,7 +44,9 @@
 pub mod cache;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use cache::{CacheStats, ResultCache};
 pub use protocol::{ErrorKind, Response};
 pub use server::{serve, ServeError, ServeOptions, ServerHandle, ServerStats};
+pub use telemetry::{AccessRecord, RequestClass, Telemetry, TelemetrySnapshot};

@@ -8,7 +8,8 @@
 //! ```text
 //! ping
 //! query --select "count,sum(total_io)" --where "input > 1gb" [--format table|md|json]
-//! stats
+//! stats [--format text|json]
+//! metrics [--format text|json] [--mask]
 //! ingest PATH      (admin)
 //! compact          (admin)
 //! vacuum           (admin)
@@ -25,9 +26,11 @@
 //!
 //! Error kinds are closed: `bad_request` (malformed line or query),
 //! `overloaded` (admission control rejected the connection),
-//! `internal` (execution failed or a worker panicked), and `shutdown`
-//! (the server is draining). The framing is deliberately trivial to
-//! parse from any language — or by a human in `nc`.
+//! `internal` (execution failed or a worker panicked), `busy` (an
+//! admin command timed out waiting for in-flight readers — retryable),
+//! and `shutdown` (the server is draining). The framing is
+//! deliberately trivial to parse from any language — or by a human in
+//! `nc`.
 
 use std::io::{self, BufRead, Write};
 
@@ -44,6 +47,9 @@ pub enum ErrorKind {
     /// The request was well-formed but execution failed (or a worker
     /// panicked mid-request).
     Internal,
+    /// An admin command timed out waiting for in-flight readers on old
+    /// generations; the client may retry.
+    Busy,
     /// The server is shutting down and will not serve this request.
     Shutdown,
 }
@@ -55,6 +61,7 @@ impl ErrorKind {
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::Internal => "internal",
+            ErrorKind::Busy => "busy",
             ErrorKind::Shutdown => "shutdown",
         }
     }
@@ -65,6 +72,7 @@ impl ErrorKind {
             "bad_request" => Some(ErrorKind::BadRequest),
             "overloaded" => Some(ErrorKind::Overloaded),
             "internal" => Some(ErrorKind::Internal),
+            "busy" => Some(ErrorKind::Busy),
             "shutdown" => Some(ErrorKind::Shutdown),
             _ => None,
         }
@@ -295,6 +303,7 @@ mod tests {
             ErrorKind::BadRequest,
             ErrorKind::Overloaded,
             ErrorKind::Internal,
+            ErrorKind::Busy,
             ErrorKind::Shutdown,
         ] {
             assert_eq!(ErrorKind::parse(kind.as_str()), Some(kind));

@@ -43,11 +43,13 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use swim_catalog::{Catalog, CatalogError, CatalogOptions, MANIFEST_FILE};
-use swim_obs::{Counter, Gauge, Histogram};
+use swim_obs::clock;
+use swim_obs::{Counter, Gauge};
 use swim_query::{cli, Session};
 
 use crate::cache::{CacheStats, ResultCache};
 use crate::protocol::{self, ErrorKind};
+use crate::telemetry::{self, AccessRecord, RequestClass, Telemetry};
 
 static REQUESTS: Counter = Counter::new("serve.requests");
 static RESPONSES_OK: Counter = Counter::new("serve.responses_ok");
@@ -56,14 +58,18 @@ static OVERLOADED: Counter = Counter::new("serve.overloaded");
 static WORKER_PANICS: Counter = Counter::new("serve.worker_panics");
 static SNAPSHOT_REFRESHES: Counter = Counter::new("serve.snapshot_refreshes");
 static QUEUE_DEPTH: Gauge = Gauge::new("serve.queue_depth");
-static REQUEST_US: Histogram = Histogram::new("serve.request_us");
+// Per-request latency deliberately has NO lifetime `Histogram` static:
+// a lifetime histogram retains every sample, which is unbounded memory
+// in a resident process. Latencies go to the bounded windowed
+// histograms in [`Telemetry`] instead.
 
 /// How long a blocked read waits before re-checking the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(100);
-/// Bounded wait for old-generation readers to finish before `vacuum`
-/// deletes files: `VACUUM_WAIT_STEPS` sleeps of `VACUUM_WAIT_STEP`.
-const VACUUM_WAIT_STEPS: usize = 500;
+/// Polling step while `vacuum` waits (up to
+/// [`ServeOptions::vacuum_wait_ms`]) for old-generation readers.
 const VACUUM_WAIT_STEP: Duration = Duration::from_millis(10);
+/// Upper bound on a single `--fault sleep:MS` injection.
+const MAX_FAULT_SLEEP_MS: u64 = 10_000;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -82,8 +88,15 @@ pub struct ServeOptions {
     pub cache_capacity: usize,
     /// Allow `ingest`/`compact`/`vacuum` over the wire.
     pub allow_admin: bool,
-    /// Honour `query --fault panic` (test-only fault injection).
+    /// Honour `query --fault panic` / `--fault sleep:MS` (test-only
+    /// fault injection).
     pub allow_faults: bool,
+    /// Append a JSONL access-log line per request to this file (see
+    /// [`crate::telemetry`]); `None` disables the log.
+    pub access_log: Option<PathBuf>,
+    /// How long `vacuum` waits for in-flight readers on old
+    /// generations before answering `busy`.
+    pub vacuum_wait_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -96,6 +109,8 @@ impl Default for ServeOptions {
             cache_capacity: 256,
             allow_admin: false,
             allow_faults: false,
+            access_log: None,
+            vacuum_wait_ms: 5_000,
         }
     }
 }
@@ -117,6 +132,13 @@ pub enum ServeError {
         /// The underlying I/O error.
         err: std::io::Error,
     },
+    /// The access-log file could not be opened.
+    AccessLog {
+        /// The path as given.
+        path: String,
+        /// The underlying I/O error.
+        err: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -124,6 +146,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Open { dir, err } => write!(f, "open {dir}: {err}"),
             ServeError::Bind { addr, err } => write!(f, "bind {addr}: {err}"),
+            ServeError::AccessLog { path, err } => write!(f, "access log {path}: {err}"),
         }
     }
 }
@@ -170,9 +193,14 @@ struct Shared {
     cache: ResultCache,
     /// Serializes admin mutations (single-writer rule).
     writer: Mutex<()>,
-    /// Admitted connections waiting for a worker. std Mutex because the
-    /// vendored parking_lot has no Condvar.
-    queue: StdMutex<VecDeque<(TcpStream, Permit)>>,
+    /// Live telemetry: request ids, windowed latency/rate metrics, the
+    /// access log.
+    telemetry: Telemetry,
+    /// Admitted connections waiting for a worker, with the
+    /// process-clock microseconds at which each was admitted (for
+    /// queue-wait attribution). std Mutex because the vendored
+    /// parking_lot has no Condvar.
+    queue: StdMutex<VecDeque<(TcpStream, Permit, u64)>>,
     available: Condvar,
     admitted: AtomicUsize,
     shutdown: AtomicBool,
@@ -326,6 +354,18 @@ impl ServerHandle {
         self.shared.stats()
     }
 
+    /// Freeze the live telemetry windows (plus lifetime stats): what
+    /// the `metrics` wire command renders.
+    pub fn telemetry(&self) -> telemetry::TelemetrySnapshot {
+        self.shared.telemetry.snapshot(self.shared.stats())
+    }
+
+    /// Latency samples currently retained by the windowed telemetry —
+    /// the memory-bound observable (O(buckets), not O(requests)).
+    pub fn telemetry_retained_samples(&self) -> usize {
+        self.shared.telemetry.retained_samples()
+    }
+
     /// Begin a graceful shutdown: stop admitting, drain in-flight
     /// requests. Returns immediately; [`ServerHandle::join`] waits.
     pub fn shutdown(&self) {
@@ -370,6 +410,15 @@ pub fn serve(dir: impl AsRef<Path>, options: ServeOptions) -> Result<ServerHandl
     })?;
     let workers = options.workers.max(1);
     let cache_capacity = options.cache_capacity;
+    let telemetry =
+        Telemetry::new(options.access_log.as_deref()).map_err(|err| ServeError::AccessLog {
+            path: options
+                .access_log
+                .as_deref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default(),
+            err,
+        })?;
     let shared = Arc::new(Shared {
         dir,
         options,
@@ -377,6 +426,7 @@ pub fn serve(dir: impl AsRef<Path>, options: ServeOptions) -> Result<ServerHandl
         snapshot: Mutex::new(Arc::new(Session::from_catalog(catalog))),
         retired: Mutex::new(Vec::new()),
         cache: ResultCache::new(cache_capacity),
+        telemetry,
         writer: Mutex::new(()),
         queue: StdMutex::new(VecDeque::new()),
         available: Condvar::new(),
@@ -408,9 +458,13 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // Answers are single small writes; leaving Nagle on makes every
+        // request pay a delayed-ACK stall, which would poison the
+        // latency windows this server reports.
+        let _ = stream.set_nodelay(true);
         match try_admit(shared) {
             Some(permit) => {
-                lock(&shared.queue).push_back((stream, permit));
+                lock(&shared.queue).push_back((stream, permit, clock::now_us()));
                 shared.available.notify_one();
             }
             None => {
@@ -447,7 +501,9 @@ fn worker_loop(shared: &Arc<Shared>) {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
-        let Some((stream, permit)) = next else { return };
+        let Some((stream, permit, admitted_us)) = next else {
+            return;
+        };
         if shared.is_shutting_down() {
             // Admitted but never started: tell the client instead of
             // silently dropping the connection.
@@ -457,7 +513,8 @@ fn worker_loop(shared: &Arc<Shared>) {
             drop(permit);
             continue;
         }
-        handle_connection(shared, stream);
+        let queue_us = clock::now_us().saturating_sub(admitted_us);
+        handle_connection(shared, stream, queue_us);
         drop(permit);
     }
 }
@@ -466,7 +523,11 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// answering each through the shared snapshot/cache machinery. A panic
 /// inside a request is contained here: the client gets an `internal`
 /// error and the connection (and worker) lives on.
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+///
+/// `queue_us` is the connection's admission-queue wait, attributed to
+/// its first request's telemetry (later requests on the same
+/// connection never waited in the queue).
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, queue_us: u64) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -474,6 +535,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let mut reader = BufReader::new(read_half);
     let mut stream = stream;
     let mut buf: Vec<u8> = Vec::new();
+    let mut first_request = true;
     loop {
         buf.clear();
         if !read_request_line(shared, &mut reader, &mut buf) {
@@ -487,10 +549,41 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         REQUESTS.incr();
         // lint: ordering: statistics counter; no data is published through it
         shared.requests.fetch_add(1, Ordering::Relaxed);
-        let (outcome, elapsed) = swim_obs::timed("serve.request", || {
-            catch_unwind(AssertUnwindSafe(|| process_request(shared, line)))
+        let request_id = shared.telemetry.next_request_id();
+        let mut meta = ReqMeta::new();
+        let start_us = clock::now_us();
+        // The hierarchical span (when `SWIM_OBS=spans`) nests execute/
+        // render and any store/query spans under one request path.
+        let span = swim_obs::span("serve.request");
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            process_request(shared, line, &mut meta)
+        }));
+        drop(span);
+        let total_us = clock::now_us().saturating_sub(start_us);
+        if outcome.is_err() {
+            meta.outcome = "panic";
+        }
+        // The flight recorder keeps the most recent individual request
+        // events, tagged with the request id (always on — the ring is
+        // bounded, so this is cheap and needs no enable mask).
+        swim_obs::flight::record_with_id(
+            "serve.request",
+            request_id,
+            Duration::from_micros(total_us),
+        );
+        shared.telemetry.record_request(meta.class, total_us);
+        shared.telemetry.log_access(&AccessRecord {
+            id: request_id,
+            command: meta.command.to_owned(),
+            generation: meta.generation,
+            cached: meta.cached,
+            queue_us: if first_request { queue_us } else { 0 },
+            execute_us: meta.execute_us,
+            render_us: meta.render_us,
+            total_us,
+            outcome: meta.outcome.to_owned(),
         });
-        REQUEST_US.record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        first_request = false;
         match outcome {
             Ok((response, action)) => {
                 if stream.write_all(&response).is_err() {
@@ -569,44 +662,109 @@ enum Action {
     Shutdown,
 }
 
-fn ok_response(shared: &Shared, generation: u64, cached: bool, body: &[u8]) -> (Vec<u8>, Action) {
+/// Per-request telemetry, filled in as the request is processed and
+/// consumed by the access log / windowed metrics after the response is
+/// built.
+struct ReqMeta {
+    command: &'static str,
+    class: RequestClass,
+    generation: u64,
+    cached: bool,
+    execute_us: u64,
+    render_us: u64,
+    outcome: &'static str,
+}
+
+impl ReqMeta {
+    fn new() -> ReqMeta {
+        ReqMeta {
+            command: "unknown",
+            class: RequestClass::Other,
+            generation: 0,
+            cached: false,
+            execute_us: 0,
+            render_us: 0,
+            outcome: "none",
+        }
+    }
+}
+
+fn ok_response(
+    shared: &Shared,
+    meta: &mut ReqMeta,
+    generation: u64,
+    cached: bool,
+    body: &[u8],
+) -> (Vec<u8>, Action) {
     RESPONSES_OK.incr();
     // lint: ordering: statistics counter; no data is published through it
     shared.responses_ok.fetch_add(1, Ordering::Relaxed);
+    meta.generation = generation;
+    meta.cached = cached;
+    meta.outcome = "ok";
     (
         protocol::encode_ok(generation, cached, body),
         Action::Continue,
     )
 }
 
-fn error_response(shared: &Shared, kind: ErrorKind, message: &str) -> (Vec<u8>, Action) {
+fn error_response(
+    shared: &Shared,
+    meta: &mut ReqMeta,
+    kind: ErrorKind,
+    message: &str,
+) -> (Vec<u8>, Action) {
     RESPONSES_ERROR.incr();
     // lint: ordering: statistics counter; no data is published through it
     shared.responses_error.fetch_add(1, Ordering::Relaxed);
+    meta.outcome = kind.as_str();
     (protocol::encode_error(kind, message), Action::Continue)
 }
 
-fn process_request(shared: &Arc<Shared>, line: &str) -> (Vec<u8>, Action) {
+fn process_request(shared: &Arc<Shared>, line: &str, meta: &mut ReqMeta) -> (Vec<u8>, Action) {
     let tokens = match protocol::tokenize(line) {
         Ok(t) => t,
-        Err(msg) => return error_response(shared, ErrorKind::BadRequest, &msg),
+        Err(msg) => return error_response(shared, meta, ErrorKind::BadRequest, &msg),
     };
     let Some((command, rest)) = tokens.split_first() else {
-        return error_response(shared, ErrorKind::BadRequest, "empty request");
+        return error_response(shared, meta, ErrorKind::BadRequest, "empty request");
     };
     match command.as_str() {
         "ping" => {
+            meta.command = "ping";
             let generation = shared.current_session().generation().unwrap_or(0);
-            ok_response(shared, generation, false, b"pong\n")
+            ok_response(shared, meta, generation, false, b"pong\n")
         }
-        "query" => handle_query(shared, rest),
-        "stats" => handle_stats(shared, rest),
-        "ingest" => handle_ingest(shared, rest),
-        "compact" => handle_compact(shared, rest),
-        "vacuum" => handle_vacuum(shared, rest),
+        "query" => {
+            meta.command = "query";
+            handle_query(shared, meta, rest)
+        }
+        "stats" => {
+            meta.command = "stats";
+            handle_stats(shared, meta, rest)
+        }
+        "metrics" => {
+            meta.command = "metrics";
+            handle_metrics(shared, meta, rest)
+        }
+        "ingest" => {
+            meta.command = "ingest";
+            handle_ingest(shared, meta, rest)
+        }
+        "compact" => {
+            meta.command = "compact";
+            handle_compact(shared, meta, rest)
+        }
+        "vacuum" => {
+            meta.command = "vacuum";
+            handle_vacuum(shared, meta, rest)
+        }
         "shutdown" => {
+            meta.command = "shutdown";
             let generation = shared.snapshot.lock().generation().unwrap_or(0);
             RESPONSES_OK.incr();
+            meta.generation = generation;
+            meta.outcome = "ok";
             (
                 protocol::encode_ok(generation, false, b"shutting down\n"),
                 Action::Shutdown,
@@ -614,30 +772,52 @@ fn process_request(shared: &Arc<Shared>, line: &str) -> (Vec<u8>, Action) {
         }
         other => error_response(
             shared,
+            meta,
             ErrorKind::BadRequest,
-            &format!("unknown command {other} (expected ping, query, stats, ingest, compact, vacuum, or shutdown)"),
+            &format!("unknown command {other} (expected ping, query, stats, metrics, ingest, compact, vacuum, or shutdown)"),
         ),
     }
 }
 
-fn handle_query(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
+/// Parsed `--fault` injections (test-only, gated by `allow_faults`).
+enum Fault {
+    Panic,
+    /// Hold the pinned session `Arc` while sleeping — a deterministic
+    /// "slow reader" for the vacuum-retirement tests.
+    SleepMs(u64),
+}
+
+fn parse_fault(value: &str) -> Result<Fault, String> {
+    if value == "panic" {
+        return Ok(Fault::Panic);
+    }
+    if let Some(ms) = value.strip_prefix("sleep:") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("sleep fault requires milliseconds, got {ms:?}"))?;
+        return Ok(Fault::SleepMs(ms.min(MAX_FAULT_SLEEP_MS)));
+    }
+    Err(format!(
+        "unknown fault {value} (expected panic or sleep:MS)"
+    ))
+}
+
+fn handle_query(shared: &Arc<Shared>, meta: &mut ReqMeta, args: &[String]) -> (Vec<u8>, Action) {
+    meta.class = RequestClass::Query;
     let mut flags = cli::QueryFlags::new();
-    let mut fault_panic = false;
+    let mut fault = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--fault" {
-            match iter.next().map(String::as_str) {
-                Some("panic") => fault_panic = true,
-                Some(other) => {
-                    return error_response(
-                        shared,
-                        ErrorKind::BadRequest,
-                        &format!("unknown fault {other} (expected panic)"),
-                    )
-                }
+            match iter.next() {
+                Some(value) => match parse_fault(value) {
+                    Ok(f) => fault = Some(f),
+                    Err(msg) => return error_response(shared, meta, ErrorKind::BadRequest, &msg),
+                },
                 None => {
                     return error_response(
                         shared,
+                        meta,
                         ErrorKind::BadRequest,
                         "--fault requires a value",
                     )
@@ -655,70 +835,129 @@ fn handle_query(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
             Ok(false) => {
                 return error_response(
                     shared,
+                    meta,
                     ErrorKind::BadRequest,
                     &format!("unexpected argument {arg}"),
                 )
             }
-            Err(msg) => return error_response(shared, ErrorKind::BadRequest, &msg),
+            Err(msg) => return error_response(shared, meta, ErrorKind::BadRequest, &msg),
         }
     }
     if let Err(msg) = flags.validate() {
-        return error_response(shared, ErrorKind::BadRequest, &msg);
+        return error_response(shared, meta, ErrorKind::BadRequest, &msg);
     }
     if flags.explain || flags.profile {
         return error_response(
             shared,
+            meta,
             ErrorKind::BadRequest,
             "--explain and --profile are not available over the wire",
         );
     }
     let query = match flags.build_query() {
         Ok(q) => q,
-        Err(msg) => return error_response(shared, ErrorKind::BadRequest, &msg),
+        Err(msg) => return error_response(shared, meta, ErrorKind::BadRequest, &msg),
     };
-    if fault_panic {
-        if !shared.options.allow_faults {
-            return error_response(
-                shared,
-                ErrorKind::BadRequest,
-                "--fault requires a server started with fault injection enabled",
-            );
-        }
+    if fault.is_some() && !shared.options.allow_faults {
+        return error_response(
+            shared,
+            meta,
+            ErrorKind::BadRequest,
+            "--fault requires a server started with fault injection enabled",
+        );
+    }
+    if let Some(Fault::Panic) = fault {
         // Deliberately kill this worker mid-request; handle_connection
         // contains the unwind and the test battery asserts recovery.
         panic!("injected fault: --fault panic");
     }
     let session = shared.current_session();
     let generation = session.generation().unwrap_or(0);
+    if let Some(Fault::SleepMs(ms)) = fault {
+        // The session Arc stays pinned across the sleep: if the
+        // generation moves meanwhile, this request is exactly the
+        // "slow reader on a retired snapshot" vacuum must wait for.
+        std::thread::sleep(Duration::from_millis(ms));
+    }
     // The typed Query's Debug form is deterministic, so it is the
     // canonical cache key (`--serial` is excluded on purpose: parallel
     // and serial execution are bit-identical).
     let canonical = format!("{query:?}");
     let (result, cached) = match shared.cache.lookup(generation, &canonical) {
         Some(hit) => (hit, true),
-        None => match session.execute(&query, flags.serial) {
-            Ok(fresh) => {
-                let fresh = Arc::new(fresh);
-                shared
-                    .cache
-                    .insert(generation, canonical, Arc::clone(&fresh));
-                (fresh, false)
+        None => {
+            let (executed, elapsed) =
+                swim_obs::timed("serve.execute", || session.execute(&query, flags.serial));
+            meta.execute_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+            match executed {
+                Ok(fresh) => {
+                    let fresh = Arc::new(fresh);
+                    shared
+                        .cache
+                        .insert(generation, canonical, Arc::clone(&fresh));
+                    (fresh, false)
+                }
+                Err(e) => return error_response(shared, meta, ErrorKind::Internal, &e.to_string()),
             }
-            Err(e) => return error_response(shared, ErrorKind::Internal, &e.to_string()),
-        },
+        }
     };
-    let title = format!("swim-serve: generation {generation}");
-    let mut body = cli::render_for(&result.output, flags.format, &title).into_bytes();
-    body.extend_from_slice(result.summary.as_bytes());
-    body.push(b'\n');
-    ok_response(shared, generation, cached, &body)
+    meta.class = if cached {
+        RequestClass::Cached
+    } else {
+        RequestClass::Query
+    };
+    let (body, render_elapsed) = swim_obs::timed("serve.render", || {
+        let title = format!("swim-serve: generation {generation}");
+        let mut body = cli::render_for(&result.output, flags.format, &title).into_bytes();
+        body.extend_from_slice(result.summary.as_bytes());
+        body.push(b'\n');
+        body
+    });
+    meta.render_us = u64::try_from(render_elapsed.as_micros()).unwrap_or(u64::MAX);
+    ok_response(shared, meta, generation, cached, &body)
 }
 
-fn handle_stats(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
-    if !args.is_empty() {
-        return error_response(shared, ErrorKind::BadRequest, "stats takes no arguments");
+/// Parse the shared `[--format text|json] [--mask]` tail of the
+/// read-only telemetry commands. Returns `(json, mask)`.
+fn parse_telemetry_args(command: &str, args: &[String]) -> Result<(bool, bool), String> {
+    let mut json = false;
+    let mut mask = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => match iter.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                Some(other) => {
+                    return Err(format!("unknown format {other} (expected text or json)"))
+                }
+                None => return Err("--format requires a value".to_owned()),
+            },
+            "--mask" => mask = true,
+            other => return Err(format!("{command} does not take {other}")),
+        }
+    }
+    Ok((json, mask))
+}
+
+fn handle_stats(shared: &Arc<Shared>, meta: &mut ReqMeta, args: &[String]) -> (Vec<u8>, Action) {
+    let (json, mask) = match parse_telemetry_args("stats", args) {
+        Ok(parsed) => parsed,
+        Err(msg) => return error_response(shared, meta, ErrorKind::BadRequest, &msg),
+    };
+    if mask {
+        return error_response(
+            shared,
+            meta,
+            ErrorKind::BadRequest,
+            "stats has no masked fields (use metrics --mask)",
+        );
     }
     let stats = shared.stats();
+    if json {
+        let body = telemetry::render_stats_json(&stats);
+        return ok_response(shared, meta, stats.generation, false, body.as_bytes());
+    }
     let body = format!(
         "generation: {}\nadmitted: {}\nqueued: {}\nretired_sessions: {}\nrequests: {}\n\
          responses_ok: {}\nresponses_error: {}\noverloaded: {}\nworker_panics: {}\n\
@@ -738,28 +977,56 @@ fn handle_stats(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
         stats.cache.entries,
         stats.cache.capacity,
     );
-    ok_response(shared, stats.generation, false, body.as_bytes())
+    ok_response(shared, meta, stats.generation, false, body.as_bytes())
 }
 
-fn admin_gate(shared: &Shared) -> Option<(Vec<u8>, Action)> {
+/// `metrics [--format text|json] [--mask]`: the live-telemetry
+/// snapshot — lifetime stats plus the last-minute windowed rates and
+/// per-class latency quantiles. Read-only, allowed without `--admin`;
+/// `--mask` blanks the scheduling-dependent fields so a deterministic
+/// request sequence yields a byte-stable body (CI golden-pins it).
+fn handle_metrics(shared: &Arc<Shared>, meta: &mut ReqMeta, args: &[String]) -> (Vec<u8>, Action) {
+    let (json, mask) = match parse_telemetry_args("metrics", args) {
+        Ok(parsed) => parsed,
+        Err(msg) => return error_response(shared, meta, ErrorKind::BadRequest, &msg),
+    };
+    let snapshot = shared.telemetry.snapshot(shared.stats());
+    let body = if json {
+        snapshot.render_json(mask)
+    } else {
+        snapshot.render_text(mask)
+    };
+    ok_response(
+        shared,
+        meta,
+        snapshot.stats.generation,
+        false,
+        body.as_bytes(),
+    )
+}
+
+fn admin_gate(shared: &Shared, meta: &mut ReqMeta) -> Option<(Vec<u8>, Action)> {
     if shared.options.allow_admin {
+        meta.class = RequestClass::Admin;
         None
     } else {
         Some(error_response(
             shared,
+            meta,
             ErrorKind::BadRequest,
             "admin commands are disabled (start the server with --admin)",
         ))
     }
 }
 
-fn handle_ingest(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
-    if let Some(denied) = admin_gate(shared) {
+fn handle_ingest(shared: &Arc<Shared>, meta: &mut ReqMeta, args: &[String]) -> (Vec<u8>, Action) {
+    if let Some(denied) = admin_gate(shared, meta) {
         return denied;
     }
     let [path] = args else {
         return error_response(
             shared,
+            meta,
             ErrorKind::BadRequest,
             "ingest requires exactly one trace path",
         );
@@ -767,7 +1034,7 @@ fn handle_ingest(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
     let _writer = shared.writer.lock();
     let mut catalog = match Catalog::open(&shared.dir) {
         Ok(c) => c,
-        Err(e) => return error_response(shared, ErrorKind::Internal, &e.to_string()),
+        Err(e) => return error_response(shared, meta, ErrorKind::Internal, &e.to_string()),
     };
     match catalog.ingest_path(path, 100, &CatalogOptions::default()) {
         Ok(stats) => {
@@ -780,23 +1047,28 @@ fn handle_ingest(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
                 "ingested: shards={} jobs={} generation={generation}\n",
                 stats.shards, stats.jobs
             );
-            ok_response(shared, generation, false, body.as_bytes())
+            ok_response(shared, meta, generation, false, body.as_bytes())
         }
-        Err(e) => error_response(shared, ErrorKind::Internal, &e.to_string()),
+        Err(e) => error_response(shared, meta, ErrorKind::Internal, &e.to_string()),
     }
 }
 
-fn handle_compact(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
-    if let Some(denied) = admin_gate(shared) {
+fn handle_compact(shared: &Arc<Shared>, meta: &mut ReqMeta, args: &[String]) -> (Vec<u8>, Action) {
+    if let Some(denied) = admin_gate(shared, meta) {
         return denied;
     }
     if !args.is_empty() {
-        return error_response(shared, ErrorKind::BadRequest, "compact takes no arguments");
+        return error_response(
+            shared,
+            meta,
+            ErrorKind::BadRequest,
+            "compact takes no arguments",
+        );
     }
     let _writer = shared.writer.lock();
     let mut catalog = match Catalog::open(&shared.dir) {
         Ok(c) => c,
-        Err(e) => return error_response(shared, ErrorKind::Internal, &e.to_string()),
+        Err(e) => return error_response(shared, meta, ErrorKind::Internal, &e.to_string()),
     };
     match catalog.compact(&CatalogOptions::default()) {
         Ok(stats) => {
@@ -807,28 +1079,35 @@ fn handle_compact(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
                 "compacted: rewritten={} created={} jobs={} generation={generation}\n",
                 stats.rewritten, stats.created, stats.jobs
             );
-            ok_response(shared, generation, false, body.as_bytes())
+            ok_response(shared, meta, generation, false, body.as_bytes())
         }
-        Err(e) => error_response(shared, ErrorKind::Internal, &e.to_string()),
+        Err(e) => error_response(shared, meta, ErrorKind::Internal, &e.to_string()),
     }
 }
 
-fn handle_vacuum(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
-    if let Some(denied) = admin_gate(shared) {
+fn handle_vacuum(shared: &Arc<Shared>, meta: &mut ReqMeta, args: &[String]) -> (Vec<u8>, Action) {
+    if let Some(denied) = admin_gate(shared, meta) {
         return denied;
     }
     if !args.is_empty() {
-        return error_response(shared, ErrorKind::BadRequest, "vacuum takes no arguments");
+        return error_response(
+            shared,
+            meta,
+            ErrorKind::BadRequest,
+            "vacuum takes no arguments",
+        );
     }
     let _writer = shared.writer.lock();
     // Move the current snapshot to the latest generation first, so the
     // view vacuum deletes against is the one new requests use …
     let session = shared.current_session();
-    // … then wait (bounded) for in-flight readers of older generations
-    // to drop their sessions: their shard files may be exactly what
-    // vacuum is about to delete.
+    // … then wait (bounded by `vacuum_wait_ms`) for in-flight readers
+    // of older generations to drop their sessions: their shard files
+    // may be exactly what vacuum is about to delete.
+    let step_ms = u64::try_from(VACUUM_WAIT_STEP.as_millis()).unwrap_or(10);
+    let steps = usize::try_from(shared.options.vacuum_wait_ms.div_ceil(step_ms)).unwrap_or(1);
     let mut old_readers = 0usize;
-    for step in 0..=VACUUM_WAIT_STEPS {
+    for step in 0..=steps {
         old_readers = {
             let mut retired = shared.retired.lock();
             retired.retain(|w| w.strong_count() > 0);
@@ -837,20 +1116,27 @@ fn handle_vacuum(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
         if old_readers == 0 {
             break;
         }
-        if step < VACUUM_WAIT_STEPS {
+        if step < steps {
             std::thread::sleep(VACUUM_WAIT_STEP);
         }
     }
     if old_readers > 0 {
+        // Typed, retryable outcome: nothing was deleted, the slow
+        // readers keep their files, and the client may try again.
         return error_response(
             shared,
-            ErrorKind::Internal,
-            "vacuum timed out waiting for in-flight readers on old generations",
+            meta,
+            ErrorKind::Busy,
+            &format!(
+                "vacuum timed out after {} ms waiting for {} in-flight reader(s) on old generations",
+                shared.options.vacuum_wait_ms, old_readers
+            ),
         );
     }
     let Some(catalog) = session.catalog() else {
         return error_response(
             shared,
+            meta,
             ErrorKind::Internal,
             "server session is not catalog-backed",
         );
@@ -859,8 +1145,8 @@ fn handle_vacuum(shared: &Arc<Shared>, args: &[String]) -> (Vec<u8>, Action) {
         Ok(removed) => {
             let generation = catalog.generation();
             let body = format!("vacuumed: files={removed} generation={generation}\n");
-            ok_response(shared, generation, false, body.as_bytes())
+            ok_response(shared, meta, generation, false, body.as_bytes())
         }
-        Err(e) => error_response(shared, ErrorKind::Internal, &e.to_string()),
+        Err(e) => error_response(shared, meta, ErrorKind::Internal, &e.to_string()),
     }
 }

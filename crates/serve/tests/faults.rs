@@ -89,8 +89,19 @@ fn panics_and_dropped_connections_leave_no_leaks() {
     );
     assert!(stats.worker_panics >= 11, "panics: {}", stats.worker_panics);
 
-    // And the server still serves normal traffic.
-    let resp = support::request(addr, "query --select count");
+    // And the server still serves normal traffic. The dropped
+    // connections above may still be draining out of the listener
+    // backlog (they are invisible to `stats` until accepted), so a
+    // transient typed `overloaded` is legitimate here — retry through
+    // it; anything else, or never recovering, is a failure.
+    let mut resp = support::request(addr, "query --select count");
+    for _ in 0..200 {
+        if resp.kind != Some(ErrorKind::Overloaded) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        resp = support::request(addr, "query --select count");
+    }
     assert!(resp.ok, "{}", resp.body_text());
     let resp = support::request(addr, "ping");
     assert!(resp.ok);

@@ -81,3 +81,42 @@ pub fn request(addr: SocketAddr, line: &str) -> Response {
     let mut reader = BufReader::new(stream);
     protocol::read_response(&mut reader).unwrap()
 }
+
+/// A persistent client connection: requests sent through it share one
+/// admission permit, so `admitted`/`queued` stay deterministic for a
+/// sequential request script (the telemetry golden tests rely on it).
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    pub fn open(addr: SocketAddr) -> Conn {
+        let stream = connect(addr);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Conn {
+            reader,
+            writer: stream,
+        }
+    }
+
+    pub fn send(&mut self, line: &str) -> Response {
+        protocol::write_request(&mut self.writer, line).unwrap();
+        protocol::read_response(&mut self.reader).unwrap()
+    }
+}
+
+/// Shard files currently on disk (`shard-*.swim`).
+pub fn shard_files(dir: &PathBuf) -> usize {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.starts_with("shard-") && name.ends_with(".swim")
+        })
+        .count()
+}

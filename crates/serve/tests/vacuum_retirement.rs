@@ -1,0 +1,120 @@
+//! Snapshot retirement under `vacuum`: the bounded wait on `Weak`
+//! retired sessions actually works in both directions. A slow reader
+//! holding an old-generation `Arc<Session>` keeps its shard files on
+//! disk; `vacuum` either waits for the release (files deleted after)
+//! or times out with a typed, retryable `busy` error (files intact).
+
+mod support;
+
+use std::time::Duration;
+
+use support::{init_catalog, request, shard_files, temp_dir, write_trace_file};
+use swim_serve::{serve, ErrorKind, ServeOptions};
+
+fn admin_options(vacuum_wait_ms: u64) -> ServeOptions {
+    ServeOptions {
+        allow_admin: true,
+        allow_faults: true,
+        vacuum_wait_ms,
+        ..ServeOptions::default()
+    }
+}
+
+/// `files=N` out of a `vacuumed: …` body.
+fn vacuumed_files(body: &str) -> usize {
+    body.split("files=")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable vacuum body: {body}"))
+}
+
+/// Release path: vacuum blocks on the sleeping reader, then deletes
+/// the orphaned shards; the reader's response still reports the
+/// generation it pinned.
+#[test]
+fn vacuum_waits_for_slow_reader_then_deletes() {
+    let dir = temp_dir("vacuum-release");
+    init_catalog(&dir, 200);
+    let trace = dir.join("more.swim");
+    write_trace_file(&trace, 1, 200);
+    let handle = serve(&dir, admin_options(30_000)).unwrap();
+    let addr = handle.addr();
+
+    // Generation 2: three small shards on disk, all compaction bait.
+    let resp = request(addr, &format!("ingest {}", trace.display()));
+    assert!(resp.ok, "{}", resp.body_text());
+    assert_eq!(resp.generation, 2);
+
+    // Slow reader pins generation 2 and sleeps holding the session.
+    let reader =
+        std::thread::spawn(move || request(addr, "query --select count --fault sleep:1500"));
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Compact publishes generation 3 and orphans the old shard files —
+    // which the sleeping reader still needs.
+    let resp = request(addr, "compact");
+    assert!(resp.ok, "{}", resp.body_text());
+    assert_eq!(resp.generation, 3);
+    let before = shard_files(&dir);
+    assert!(before >= 2, "expected orphans on disk, found {before}");
+    assert_eq!(handle.stats().retired_sessions, 1, "reader holds gen 2");
+
+    // Vacuum must wait out the reader before deleting anything.
+    let resp = request(addr, "vacuum");
+    assert!(resp.ok, "{}", resp.body_text());
+    assert!(vacuumed_files(&resp.body_text()) >= 1);
+    assert!(shard_files(&dir) < before, "orphans deleted after release");
+
+    let reader_resp = reader.join().unwrap();
+    assert!(reader_resp.ok, "{}", reader_resp.body_text());
+    assert_eq!(
+        reader_resp.generation, 2,
+        "slow reader answered against its pinned snapshot"
+    );
+    handle.shutdown_join();
+}
+
+/// Timeout path: a too-short wait yields a typed `busy` error, deletes
+/// nothing, and a retry after the reader releases succeeds.
+#[test]
+fn vacuum_timeout_is_typed_and_retryable() {
+    let dir = temp_dir("vacuum-timeout");
+    init_catalog(&dir, 200);
+    let trace = dir.join("more.swim");
+    write_trace_file(&trace, 2, 200);
+    let handle = serve(&dir, admin_options(100)).unwrap();
+    let addr = handle.addr();
+
+    let resp = request(addr, &format!("ingest {}", trace.display()));
+    assert!(resp.ok, "{}", resp.body_text());
+
+    let reader =
+        std::thread::spawn(move || request(addr, "query --select count --fault sleep:2000"));
+    std::thread::sleep(Duration::from_millis(400));
+
+    let resp = request(addr, "compact");
+    assert!(resp.ok, "{}", resp.body_text());
+    let before = shard_files(&dir);
+    assert!(before >= 2);
+
+    // 100 ms of patience cannot outlast a 2 s reader: typed busy.
+    let resp = request(addr, "vacuum");
+    assert!(!resp.ok);
+    assert_eq!(resp.kind, Some(ErrorKind::Busy));
+    assert!(
+        resp.body_text().contains("timed out"),
+        "{}",
+        resp.body_text()
+    );
+    assert_eq!(shard_files(&dir), before, "nothing deleted on timeout");
+
+    // The reader finishes against intact files, then the retry wins.
+    let reader_resp = reader.join().unwrap();
+    assert!(reader_resp.ok, "{}", reader_resp.body_text());
+    let resp = request(addr, "vacuum");
+    assert!(resp.ok, "{}", resp.body_text());
+    assert!(vacuumed_files(&resp.body_text()) >= 1);
+    assert!(shard_files(&dir) < before);
+    handle.shutdown_join();
+}
