@@ -1,0 +1,106 @@
+//! Scenario-layer throughput: the chunk-at-a-time streaming generator
+//! vs the one-shot in-memory path on the same workload, plus scenario
+//! streams (overlays + multi-tenant merge) through the same harness.
+//! The streaming path must stay within striking distance of the
+//! in-memory path — asserted here, so the CI bench smoke enforces that
+//! bounded memory is not bought with generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swim_scenario::{presets, ScenarioStream};
+use swim_trace::trace::WorkloadKind;
+use swim_workloadgen::{GeneratorConfig, StreamingGenerator, WorkloadGenerator};
+
+fn config() -> GeneratorConfig {
+    GeneratorConfig::new(WorkloadKind::CcB)
+        .scale(1.0)
+        .days(2.0)
+        .seed(7)
+}
+
+fn bench_streaming_vs_oneshot(c: &mut Criterion) {
+    // Acceptance gate: same config, same seed — the streamed jobs are
+    // the one-shot jobs, and the streamed pass costs no more than 1.5x
+    // the in-memory pass (best of 3 each way to damp scheduler noise).
+    let oneshot = WorkloadGenerator::new(config()).generate();
+    let streamed: Vec<_> = StreamingGenerator::new(config())
+        .expect("valid config")
+        .flatten()
+        .collect();
+    assert_eq!(
+        oneshot.jobs(),
+        &streamed[..],
+        "streaming must emit the one-shot jobs bit-for-bit"
+    );
+    let best_of = |f: &dyn Fn() -> usize| {
+        (0..3)
+            .map(|_| swim_obs::timed("bench.scenario_gen", f).1)
+            .min()
+            .expect("at least one run")
+    };
+    let oneshot_time = best_of(&|| WorkloadGenerator::new(config()).generate().len());
+    let streaming_time = best_of(&|| {
+        StreamingGenerator::new(config())
+            .expect("valid config")
+            .map(|chunk| chunk.len())
+            .sum()
+    });
+    let ratio = streaming_time.as_secs_f64() / oneshot_time.as_secs_f64();
+    eprintln!(
+        "{}-job generation: one-shot {oneshot_time:?} vs streamed {streaming_time:?} \
+         => {ratio:.2}x",
+        oneshot.len()
+    );
+    assert!(
+        ratio <= 1.5,
+        "streaming generation must stay within 1.5x of the in-memory path: \
+         one-shot {oneshot_time:?} vs streamed {streaming_time:?} ({ratio:.2}x)"
+    );
+
+    let mut group = c.benchmark_group("generation_path");
+    group.sample_size(10);
+    group.bench_function("oneshot_in_memory", |b| {
+        b.iter(|| black_box(WorkloadGenerator::new(config()).generate().len()))
+    });
+    for chunk in [512usize, 8_192] {
+        group.bench_with_input(BenchmarkId::new("streaming", chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let stream = StreamingGenerator::new(config())
+                    .expect("valid config")
+                    .chunk_size(chunk);
+                black_box(stream.map(|c| c.len()).sum::<usize>())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scenario_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_stream");
+    group.sample_size(10);
+    // One plain, one multi-tenant, one per overlay — the overlays and
+    // the tenant merge are the scenario layer's costs over the raw
+    // streaming generator.
+    for name in [
+        "steady-retail",
+        "multitenant-saas",
+        "heavytail-adtech",
+        "retrystorm-fintech",
+    ] {
+        let scenario = presets::find(name).expect("preset exists");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    let stream = ScenarioStream::new(scenario, 42, 5_000).expect("valid scenario");
+                    black_box(stream.map(|chunk| chunk.len()).sum::<usize>())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_vs_oneshot, bench_scenario_streams);
+criterion_main!(benches);

@@ -348,6 +348,52 @@ impl Catalog {
         self.commit_new_shards(entries)
     }
 
+    /// Ingest a stream of job blocks without ever materializing the full
+    /// trace: the catalog buffers at most one shard plus one block, so a
+    /// generator can pipe 100M+ jobs into sharded, immutable storage at
+    /// O(chunk) memory. Blocks concatenate to the logical trace; jobs must
+    /// arrive in ascending submit order with unique ids (the streaming
+    /// generators guarantee both). Shard files are written and fsynced as
+    /// soon as they fill; the manifest is still rewritten last, so readers
+    /// see the whole stream or none of it. An empty stream is a no-op.
+    pub fn ingest_stream<I>(
+        &mut self,
+        kind: WorkloadKind,
+        machines: u32,
+        blocks: I,
+        options: &CatalogOptions,
+    ) -> Result<IngestStats, CatalogError>
+    where
+        I: IntoIterator<Item = Vec<Job>>,
+    {
+        let _span = swim_obs::span("catalog.ingest");
+        let per_shard = options.validate()? as usize;
+        let gen = self.manifest.generation + 1;
+        let mut entries = Vec::new();
+        let mut buffer: Vec<Job> = Vec::new();
+        let mut seq = 0usize;
+        for block in blocks {
+            buffer.extend(block);
+            while buffer.len() >= per_shard {
+                let rest = buffer.split_off(per_shard);
+                let full = std::mem::replace(&mut buffer, rest);
+                entries.push(self.write_shard_file(
+                    gen,
+                    seq,
+                    kind.clone(),
+                    machines,
+                    full,
+                    options,
+                )?);
+                seq += 1;
+            }
+        }
+        if !buffer.is_empty() {
+            entries.push(self.write_shard_file(gen, seq, kind, machines, buffer, options)?);
+        }
+        self.commit_new_shards(entries)
+    }
+
     /// Ingest a trace file by extension: `.csv` (labelled by file stem,
     /// sized by `csv_machines`), `.swim`/`.store` (streamed chunk by
     /// chunk, so arbitrarily large stores ingest at bounded memory), and

@@ -428,6 +428,119 @@ mod tests {
     }
 
     #[test]
+    fn ingest_stream_matches_ingest_trace() {
+        let trace = varied_trace(WorkloadKind::Custom("s".into()), 1000, 0);
+
+        let dir_a = temp_dir("stream-a");
+        let mut whole = Catalog::init(&dir_a).unwrap();
+        whole.ingest_trace(&trace, &small_options(300)).unwrap();
+
+        // Same jobs, streamed in ragged blocks that straddle shard
+        // boundaries every which way.
+        let dir_b = temp_dir("stream-b");
+        let mut streamed = Catalog::init(&dir_b).unwrap();
+        let blocks: Vec<Vec<swim_trace::Job>> =
+            trace.jobs().chunks(37).map(|c| c.to_vec()).collect();
+        let stats = streamed
+            .ingest_stream(
+                trace.kind.clone(),
+                trace.machines,
+                blocks,
+                &small_options(300),
+            )
+            .unwrap();
+
+        assert_eq!(stats.shards, 4); // 300+300+300+100
+        assert_eq!(stats.jobs, 1000);
+        assert_eq!(streamed.summary(), whole.summary());
+        assert_eq!(streamed.read_trace().unwrap(), whole.read_trace().unwrap());
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn ingest_stream_publishes_shards_before_the_stream_ends() {
+        // O(chunk)-not-O(trace) accounting: full shards must hit disk
+        // *while the stream is still being consumed*, proving the catalog
+        // buffers at most one shard plus one block rather than the trace.
+        let dir = temp_dir("stream-bounded");
+        let trace = varied_trace(WorkloadKind::CcA, 900, 0);
+        let mut catalog = Catalog::init(&dir).unwrap();
+
+        let shard_files = {
+            let dir = dir.clone();
+            move || {
+                std::fs::read_dir(&dir)
+                    .unwrap()
+                    .filter(|e| {
+                        e.as_ref()
+                            .unwrap()
+                            .file_name()
+                            .to_string_lossy()
+                            .starts_with("shard-")
+                    })
+                    .count()
+            }
+        };
+
+        let counter = shard_files.clone();
+        let blocks: Vec<Vec<swim_trace::Job>> =
+            trace.jobs().chunks(100).map(|c| c.to_vec()).collect();
+        let blocks = blocks.into_iter().enumerate().map(move |(i, block)| {
+            if i == 8 {
+                // By the last block, the first 800 jobs have filled four
+                // 200-job shards; all four must already be on disk.
+                assert!(
+                    counter() >= 4,
+                    "only {} shards on disk before final block",
+                    counter()
+                );
+            }
+            block
+        });
+        let stats = catalog
+            .ingest_stream(
+                trace.kind.clone(),
+                trace.machines,
+                blocks,
+                &small_options(200),
+            )
+            .unwrap();
+        assert_eq!(stats.shards, 5);
+        assert_eq!(stats.jobs, 900);
+        assert_eq!(shard_files(), 5);
+        assert_eq!(catalog.read_trace().unwrap(), trace);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ingest_stream_of_nothing_is_a_noop() {
+        let dir = temp_dir("stream-empty");
+        let mut catalog = Catalog::init(&dir).unwrap();
+        let stats = catalog
+            .ingest_stream(
+                WorkloadKind::CcA,
+                5,
+                std::iter::empty::<Vec<swim_trace::Job>>(),
+                &CatalogOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(stats, IngestStats::default());
+        assert_eq!(catalog.generation(), 0);
+        // Empty blocks inside a stream are tolerated too.
+        let stats = catalog
+            .ingest_stream(
+                WorkloadKind::CcA,
+                5,
+                vec![Vec::new(), Vec::new()],
+                &CatalogOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(stats, IngestStats::default());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn adopting_an_empty_store_is_rejected() {
         let dir = temp_dir("adopt-empty");
         let src = temp_dir("adopt-empty-src");

@@ -698,10 +698,14 @@ mod tests {
     use swim_workloadgen::{GeneratorConfig, WorkloadGenerator};
 
     fn sample_trace() -> Trace {
+        // Three days, not two: fig7's diurnal detection needs >= 48
+        // hourly bins, and a 2-day trace's submit *span* can fall just
+        // short of that (the NaN snr it then reports is not
+        // PartialEq-comparable across contexts).
         WorkloadGenerator::new(
             GeneratorConfig::new(WorkloadKind::CcE)
                 .scale(0.3)
-                .days(2.0)
+                .days(3.0)
                 .seed(9),
         )
         .generate()

@@ -1,0 +1,41 @@
+//! # swim-scenario
+//!
+//! Paper-scale streaming scenario library: named, versioned workload
+//! *scenarios* — compositions of the paper's seven calibrated
+//! per-industry generators — generated chunk-at-a-time into live
+//! catalogs with bounded memory.
+//!
+//! The crate layers three pieces over `swim-workloadgen`'s streaming
+//! generator:
+//!
+//! * a **scenario model** ([`model`], [`presets`]): diurnal/bursty
+//!   arrival modulation, heavy-tail data-size mixtures, multi-tenant
+//!   interleaving, and failure/retry-storm overlays, each a named,
+//!   versioned [`Scenario`] with per-industry presets whose parameters
+//!   are cross-checked against fits of generated sample traces
+//!   ([`presets::fit`]);
+//! * a **streaming executor** ([`stream`]): k-way tenant merge with
+//!   overlay application in emission order — deterministic per seed for
+//!   any chunk size — piped through `Catalog::ingest_stream` so
+//!   100M+-job traces land in sharded catalogs without ever
+//!   materializing (memory is O(chunk), asserted by tests);
+//! * a **cross-scenario study** ([`study`]): the scenario set fanned
+//!   through the `swim-report` battery and a `Simulator::sweep` what-if
+//!   grid into one golden-pinnable report.
+//!
+//! The `swim-scenario` binary exposes `list`, `describe`, `generate`,
+//! and `compare` over this library.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod model;
+pub mod presets;
+pub mod stream;
+pub mod study;
+
+pub use model::{ArrivalTweak, HeavyTail, RetryStorm, Scenario, ScenarioError, Tenant};
+pub use stream::{
+    generate_into_catalog, GenerateOutcome, ScenarioStats, ScenarioStream, DEFAULT_CHUNK,
+};
+pub use study::{compare, StudyOptions};

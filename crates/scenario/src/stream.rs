@@ -1,0 +1,641 @@
+//! Streaming scenario execution: turn a [`Scenario`] into a
+//! submit-ordered, chunk-at-a-time job stream with bounded memory.
+//!
+//! Each tenant runs its own [`StreamingGenerator`] (itself O(chunk));
+//! the scenario k-way-merges the tenant streams by submit time, applies
+//! the heavy-tail and retry-storm overlays *in emission order* (so the
+//! output is bit-identical for a given seed regardless of chunk size),
+//! and reassigns sequential job ids. Pending retries live in a bounded
+//! binary-heap reorder buffer — when it fills, the storm saturates and
+//! further retries are dropped and counted rather than buffered, so
+//! memory stays O(buffer), never O(trace).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use swim_catalog::{Catalog, CatalogOptions, IngestStats};
+use swim_obs::Counter;
+use swim_trace::trace::WorkloadKind;
+use swim_trace::{Dur, Job, JobId, PathId, Timestamp, Trace};
+use swim_workloadgen::dist::LogNormal;
+use swim_workloadgen::files::PopulationBounds;
+use swim_workloadgen::jobtypes::{derive_map_tasks, derive_reduce_tasks};
+use swim_workloadgen::profiles::WorkloadProfile;
+use swim_workloadgen::{GenerationStats, GeneratorConfig, StreamingGenerator};
+
+use crate::model::{HeavyTail, RetryStorm, Scenario, ScenarioError};
+
+/// Default chunk size for scenario streams (jobs per yielded block).
+pub const DEFAULT_CHUNK: usize = 8_192;
+
+/// Capacity of the retry reorder buffer: the hard bound on pending
+/// resubmissions held in memory.
+pub const REORDER_CAP: usize = 4_096;
+
+/// Inner chunk size used when pulling from each tenant's generator.
+const TENANT_CHUNK: usize = 512;
+
+static SCENARIO_JOBS: Counter = Counter::new("scenario.jobs");
+static SCENARIO_RETRIES: Counter = Counter::new("scenario.retries");
+static SCENARIO_BOOSTED: Counter = Counter::new("scenario.boosted");
+
+/// Running statistics of a scenario stream — the scenario's *declared*
+/// statistics that a catalog built from the stream must agree with.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScenarioStats {
+    /// Aggregate stats over every emitted job (originals and retries).
+    pub generation: GenerationStats,
+    /// Original jobs emitted per tenant, in tenant order.
+    pub per_tenant: Vec<(String, u64)>,
+    /// Jobs whose data sizes were boosted by the heavy-tail overlay.
+    pub boosted: u64,
+    /// Retry resubmissions emitted.
+    pub retries: u64,
+    /// Retries dropped because the reorder buffer was saturated.
+    pub retries_dropped: u64,
+    /// High-water mark of the reorder buffer.
+    pub peak_pending: usize,
+}
+
+/// One tenant's live generator plus a small pull buffer.
+struct TenantStream {
+    label: String,
+    generator: StreamingGenerator,
+    buffer: VecDeque<Job>,
+    exhausted: bool,
+}
+
+impl TenantStream {
+    fn peek(&mut self) -> Option<&Job> {
+        self.refill();
+        self.buffer.front()
+    }
+
+    fn pop(&mut self) -> Option<Job> {
+        self.refill();
+        self.buffer.pop_front()
+    }
+
+    fn refill(&mut self) {
+        while self.buffer.is_empty() && !self.exhausted {
+            match self.generator.next_chunk() {
+                Some(chunk) => self.buffer.extend(chunk),
+                None => self.exhausted = true,
+            }
+        }
+    }
+}
+
+/// A pending retry, ordered by (submit, insertion sequence) so the heap
+/// pops in deterministic submit order.
+struct Pending {
+    submit: Timestamp,
+    seq: u64,
+    job: Job,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        (self.submit, self.seq) == (other.submit, other.seq)
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.submit, other.seq).cmp(&(self.submit, self.seq))
+    }
+}
+
+/// The streaming executor for one scenario; see the module docs.
+///
+/// Implements `Iterator<Item = Vec<Job>>`: chunks of at most
+/// `chunk_size` jobs, globally submit-ordered with sequential ids, and
+/// deterministic per seed regardless of chunk size.
+pub struct ScenarioStream {
+    tenants: Vec<TenantStream>,
+    heavy_tail: Option<(HeavyTail, LogNormal)>,
+    retry_storm: Option<RetryStorm>,
+    overlay_rng: StdRng,
+    pending: BinaryHeap<Pending>,
+    pending_seq: u64,
+    tenant_count: u64,
+    next_id: u64,
+    chunk_size: usize,
+    stats: ScenarioStats,
+    machines: u32,
+    kind: WorkloadKind,
+}
+
+impl ScenarioStream {
+    /// Build the stream: validate the scenario, split the job budget
+    /// over tenants by weight (largest-remainder rounding), and derive
+    /// each tenant's generator scale so its share arrives spread over
+    /// the scenario's full `days` window.
+    ///
+    /// `total_jobs` is a *budget*: each tenant's arrival process is
+    /// capped at its share, so very bursty scenarios (whose arrival
+    /// mass concentrates in rare peak hours that the cap truncates)
+    /// emit fewer jobs than the budget. [`ScenarioStats`] always
+    /// reports what was actually emitted.
+    pub fn new(scenario: &Scenario, seed: u64, total_jobs: u64) -> Result<Self, ScenarioError> {
+        scenario.validate()?;
+        let targets = split_budget(scenario, total_jobs);
+        let mut tenants = Vec::with_capacity(scenario.tenants.len());
+        for (index, (tenant, target)) in scenario.tenants.iter().zip(&targets).enumerate() {
+            let mut profile = WorkloadProfile::for_kind(&tenant.kind)
+                .expect("validate() checked every tenant kind");
+            let tweak = &tenant.tweak;
+            if let Some(a) = tweak.diurnal_amplitude {
+                profile.arrival.diurnal_amplitude = a;
+            }
+            if let Some(p) = tweak.peak_hour {
+                profile.arrival.peak_hour = p;
+            }
+            if let Some(s) = tweak.burst_sigma {
+                profile.arrival.burst_sigma = s;
+            }
+            // Scale so the expected job count over `days` equals the
+            // tenant's target; max_jobs caps the Poisson overshoot.
+            let scale =
+                *target as f64 * profile.length_days / (profile.total_jobs as f64 * scenario.days);
+            if *target == 0 || scale <= 0.0 {
+                continue;
+            }
+            let mut config = GeneratorConfig::new(tenant.kind.clone())
+                .scale(scale)
+                .days(scenario.days)
+                .seed(derive_seed(seed, index as u64 + 1));
+            if let Some(s) = tenant.sigma {
+                config = config.sigma(s);
+            }
+            let generator = StreamingGenerator::from_profile(config, profile)?
+                .chunk_size(TENANT_CHUNK)
+                .max_jobs(*target);
+            tenants.push(TenantStream {
+                label: tenant.label.clone(),
+                generator,
+                buffer: VecDeque::new(),
+                exhausted: false,
+            });
+        }
+        let heavy_tail = scenario.heavy_tail.clone().map(|ht| {
+            let dist = LogNormal::from_median(ht.median_boost, ht.sigma);
+            (ht, dist)
+        });
+        let stats = ScenarioStats {
+            per_tenant: tenants.iter().map(|t| (t.label.clone(), 0)).collect(),
+            ..Default::default()
+        };
+        Ok(ScenarioStream {
+            tenant_count: tenants.len().max(1) as u64,
+            tenants,
+            heavy_tail,
+            retry_storm: scenario.retry_storm.clone(),
+            overlay_rng: StdRng::seed_from_u64(derive_seed(seed, 0)),
+            pending: BinaryHeap::new(),
+            pending_seq: 0,
+            next_id: 0,
+            chunk_size: DEFAULT_CHUNK,
+            stats,
+            machines: scenario.machines(),
+            kind: WorkloadKind::Custom(scenario.workload_label()),
+        })
+    }
+
+    /// Set the chunk size (jobs per yielded block); clamped to >= 1.
+    pub fn chunk_size(mut self, n: usize) -> Self {
+        self.chunk_size = n.max(1);
+        self
+    }
+
+    /// Cap the per-tenant file-population state (forwarding
+    /// [`PopulationBounds`] to every tenant generator). Only meaningful
+    /// before any chunk is pulled.
+    pub fn population_bounds(mut self, bounds: PopulationBounds) -> Self {
+        self.tenants = self
+            .tenants
+            .into_iter()
+            .map(|t| TenantStream {
+                generator: t.generator.population_bounds(bounds),
+                ..t
+            })
+            .collect();
+        self
+    }
+
+    /// Statistics over everything emitted so far.
+    pub fn stats(&self) -> &ScenarioStats {
+        &self.stats
+    }
+
+    /// Nominal machine count of the scenario's consolidated cluster.
+    pub fn machines(&self) -> u32 {
+        self.machines
+    }
+
+    /// The workload kind stamped on generated jobs' traces/shards.
+    pub fn kind(&self) -> &WorkloadKind {
+        &self.kind
+    }
+
+    /// Bytes of resident generator state: tenant generators and pull
+    /// buffers plus the retry reorder buffer. Constant in trace length —
+    /// the O(chunk)-not-O(trace) figure the memory tests pin.
+    pub fn resident_bytes(&self) -> usize {
+        let tenants: usize = self
+            .tenants
+            .iter()
+            .map(|t| {
+                t.generator.resident_bytes() + t.buffer.capacity() * std::mem::size_of::<Job>()
+            })
+            .sum();
+        tenants + self.pending.capacity() * std::mem::size_of::<Pending>()
+    }
+
+    /// Next chunk of at most `chunk_size` jobs; `None` when the
+    /// scenario (including all pending retries) is exhausted.
+    pub fn next_chunk(&mut self) -> Option<Vec<Job>> {
+        let _span = swim_obs::span("scenario.chunk");
+        let mut chunk = Vec::new();
+        while chunk.len() < self.chunk_size {
+            match self.next_job() {
+                Some(job) => chunk.push(job),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            None
+        } else {
+            SCENARIO_JOBS.add(chunk.len() as u64);
+            Some(chunk)
+        }
+    }
+
+    fn next_job(&mut self) -> Option<Job> {
+        // Earliest tenant head, by (submit, tenant index) for stability.
+        let mut next_tenant: Option<(Timestamp, usize)> = None;
+        for i in 0..self.tenants.len() {
+            if let Some(job) = self.tenants[i].peek() {
+                let key = (job.submit, i);
+                if next_tenant.is_none_or(|cur| key < cur) {
+                    next_tenant = Some(key);
+                }
+            }
+        }
+        // Flush any retry due before (or at) the next original.
+        if let Some(p) = self.pending.peek() {
+            let due = match next_tenant {
+                Some((submit, _)) => p.submit <= submit,
+                None => true,
+            };
+            if due {
+                let p = self.pending.pop().expect("peeked above");
+                self.stats.retries += 1;
+                SCENARIO_RETRIES.incr();
+                return Some(self.finalize(p.job));
+            }
+        }
+        let (_, index) = next_tenant?;
+        let mut job = self.tenants[index].pop().expect("peeked above");
+        self.apply_tenant(index, &mut job);
+        self.apply_heavy_tail(&mut job);
+        self.schedule_retries(&job);
+        self.stats.per_tenant[index].1 += 1;
+        Some(self.finalize(job))
+    }
+
+    /// Namespace the tenant's file paths (collision-free remap: old id
+    /// times tenant count plus tenant index) and prefix its job names.
+    fn apply_tenant(&mut self, index: usize, job: &mut Job) {
+        let n = self.tenant_count;
+        let remap = |p: &mut PathId| *p = PathId(p.0.wrapping_mul(n).wrapping_add(index as u64));
+        job.input_paths.iter_mut().for_each(remap);
+        job.output_paths.iter_mut().for_each(remap);
+        if !job.name.is_empty() {
+            job.name = format!("{}:{}", self.tenants[index].label, job.name);
+        }
+    }
+
+    /// Heavy-tail overlay: boost data sizes and task-times by one
+    /// lognormal factor, then re-derive task counts so the job stays
+    /// schema-consistent. Draws happen in emission order, so the stream
+    /// stays deterministic for any chunking.
+    fn apply_heavy_tail(&mut self, job: &mut Job) {
+        let Some((ht, dist)) = &self.heavy_tail else {
+            return;
+        };
+        if !self.overlay_rng.random_bool(ht.probability) {
+            return;
+        }
+        let factor = dist.sample(&mut self.overlay_rng);
+        job.input = job.input.scale(factor);
+        job.shuffle = job.shuffle.scale(factor);
+        job.output = job.output.scale(factor);
+        job.map_task_time = job.map_task_time.scale(factor);
+        job.reduce_task_time = job.reduce_task_time.scale(factor);
+        job.map_tasks = derive_map_tasks(job.input, job.map_task_time, job.duration);
+        job.reduce_tasks = derive_reduce_tasks(job.shuffle, job.reduce_task_time);
+        self.stats.boosted += 1;
+        SCENARIO_BOOSTED.incr();
+    }
+
+    /// Retry-storm overlay: chain failure draws (attempt k fails with
+    /// probability p, capped) and buffer each resubmission `k·backoff`
+    /// after the original, dropping (and counting) retries when the
+    /// reorder buffer is saturated.
+    fn schedule_retries(&mut self, job: &Job) {
+        let Some(rs) = &self.retry_storm else {
+            return;
+        };
+        for attempt in 1..=rs.max_retries {
+            if !self.overlay_rng.random_bool(rs.probability) {
+                break;
+            }
+            if self.pending.len() >= REORDER_CAP {
+                self.stats.retries_dropped += 1;
+                continue;
+            }
+            let mut retry = job.clone();
+            retry.submit = job.submit + Dur::from_secs(rs.backoff.secs() * attempt as u64);
+            self.pending.push(Pending {
+                submit: retry.submit,
+                seq: self.pending_seq,
+                job: retry,
+            });
+            self.pending_seq += 1;
+            self.stats.peak_pending = self.stats.peak_pending.max(self.pending.len());
+        }
+    }
+
+    fn finalize(&mut self, mut job: Job) -> Job {
+        job.id = JobId(self.next_id);
+        self.next_id += 1;
+        self.stats.generation.observe(&job);
+        job
+    }
+
+    /// Drain the whole stream into an in-memory [`Trace`] (for the
+    /// comparison study; paper-scale generation should stream into a
+    /// catalog instead — see [`generate_into_catalog`]).
+    pub fn collect_trace(mut self) -> Result<(Trace, ScenarioStats), ScenarioError> {
+        let mut jobs = Vec::new();
+        while let Some(chunk) = self.next_chunk() {
+            jobs.extend(chunk);
+        }
+        let trace = Trace::new(self.kind.clone(), self.machines, jobs).map_err(|e| {
+            ScenarioError::Invalid {
+                scenario: self.kind.label().to_owned(),
+                message: format!("generated trace failed validation: {e}"),
+            }
+        })?;
+        Ok((trace, self.stats))
+    }
+}
+
+impl Iterator for ScenarioStream {
+    type Item = Vec<Job>;
+
+    fn next(&mut self) -> Option<Vec<Job>> {
+        self.next_chunk()
+    }
+}
+
+/// Outcome of streaming a scenario into a catalog.
+#[derive(Debug, Clone)]
+pub struct GenerateOutcome {
+    /// Shards/jobs/bytes written by the catalog.
+    pub ingest: IngestStats,
+    /// The stream's declared statistics (catalog `summary()` must agree).
+    pub stats: ScenarioStats,
+}
+
+/// Stream `total_jobs` jobs of `scenario` into an open catalog without
+/// ever materializing the trace: memory stays O(chunk) while shards are
+/// published incrementally (the 100M-job path).
+pub fn generate_into_catalog(
+    scenario: &Scenario,
+    seed: u64,
+    total_jobs: u64,
+    chunk_size: usize,
+    catalog: &mut Catalog,
+    options: &CatalogOptions,
+) -> Result<GenerateOutcome, ScenarioError> {
+    let mut stream = ScenarioStream::new(scenario, seed, total_jobs)?.chunk_size(chunk_size);
+    let kind = stream.kind().clone();
+    let machines = stream.machines();
+    let ingest = catalog
+        .ingest_stream(kind, machines, &mut stream, options)
+        .map_err(|e| ScenarioError::Catalog(e.to_string()))?;
+    Ok(GenerateOutcome {
+        ingest,
+        stats: stream.stats().clone(),
+    })
+}
+
+/// Split `total` jobs over tenants by weight using largest-remainder
+/// rounding — deterministic, sums exactly to `total`.
+fn split_budget(scenario: &Scenario, total: u64) -> Vec<u64> {
+    let sum: f64 = scenario.tenants.iter().map(|t| t.weight).sum();
+    let mut shares: Vec<(usize, u64, f64)> = scenario
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let exact = t.weight / sum * total as f64;
+            (i, exact.floor() as u64, exact - exact.floor())
+        })
+        .collect();
+    let assigned: u64 = shares.iter().map(|s| s.1).sum();
+    // The sum of floors is short by fewer than one job per tenant.
+    let remainder = total.saturating_sub(assigned) as usize;
+    // Largest fractional part first; ties broken by tenant order.
+    let mut order: Vec<usize> = (0..shares.len()).collect();
+    order.sort_by(|&a, &b| {
+        shares[b]
+            .2
+            .partial_cmp(&shares[a].2)
+            .unwrap_or(Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    for &i in order.iter().take(remainder) {
+        shares[i].1 += 1;
+    }
+    shares.into_iter().map(|s| s.1).collect()
+}
+
+/// Derive an independent 64-bit stream seed from a master seed
+/// (splitmix64 finalizer — same construction the generator uses for its
+/// arrival/body split).
+fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn chunked(scenario: &Scenario, seed: u64, jobs: u64, chunk: usize) -> Vec<Job> {
+        ScenarioStream::new(scenario, seed, jobs)
+            .expect("preset is valid")
+            .chunk_size(chunk)
+            .flatten()
+            .collect()
+    }
+
+    #[test]
+    fn stream_is_sorted_with_sequential_ids() {
+        for preset in presets::presets() {
+            let jobs = chunked(&preset, 42, 600, 128);
+            assert!(!jobs.is_empty(), "{} produced nothing", preset.name);
+            assert!(
+                jobs.windows(2).all(|w| w[0].submit <= w[1].submit),
+                "{} not submit-ordered",
+                preset.name
+            );
+            for (i, job) in jobs.iter().enumerate() {
+                assert_eq!(
+                    job.id,
+                    JobId(i as u64),
+                    "{} ids not sequential",
+                    preset.name
+                );
+                job.validate().expect("every job valid");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_size_never_changes_the_stream() {
+        let preset = presets::multitenant_saas();
+        let fine = chunked(&preset, 7, 500, 1);
+        for chunk in [7usize, 64, 4096] {
+            assert_eq!(
+                fine,
+                chunked(&preset, 7, 500, chunk),
+                "chunk {chunk} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_storm_emits_retries_and_stays_bounded() {
+        let preset = presets::retrystorm_fintech();
+        let mut stream = ScenarioStream::new(&preset, 11, 1_500).expect("valid");
+        let mut total = 0usize;
+        while let Some(chunk) = stream.next_chunk() {
+            total += chunk.len();
+        }
+        let stats = stream.stats();
+        assert!(stats.retries > 0, "a 25% storm must emit retries");
+        assert!(stats.peak_pending <= REORDER_CAP);
+        assert_eq!(stats.generation.jobs as usize, total);
+        let originals: u64 = stats.per_tenant.iter().map(|(_, n)| n).sum();
+        assert_eq!(originals + stats.retries, stats.generation.jobs);
+    }
+
+    #[test]
+    fn heavy_tail_boosts_a_plausible_fraction() {
+        let preset = presets::heavytail_adtech();
+        let mut stream = ScenarioStream::new(&preset, 3, 2_000).expect("valid");
+        while stream.next_chunk().is_some() {}
+        let stats = stream.stats();
+        let frac = stats.boosted as f64 / stats.generation.jobs as f64;
+        assert!(
+            (0.04..0.14).contains(&frac),
+            "boosted fraction {frac} far from probability 0.08"
+        );
+    }
+
+    #[test]
+    fn multitenant_split_respects_weights_and_remaps_paths() {
+        let preset = presets::multitenant_saas();
+        let mut stream = ScenarioStream::new(&preset, 5, 2_000).expect("valid");
+        let jobs: Vec<Job> = (&mut stream).flatten().collect();
+        let stats = stream.stats();
+        let total: u64 = stats.per_tenant.iter().map(|(_, n)| n).sum();
+        assert_eq!(total as usize, jobs.len());
+        for ((label, n), tenant) in stats.per_tenant.iter().zip(&preset.tenants) {
+            assert_eq!(label, &tenant.label);
+            let share = *n as f64 / total as f64;
+            let weight: f64 = preset.tenants.iter().map(|t| t.weight).sum();
+            let expect = tenant.weight / weight;
+            assert!(
+                (share - expect).abs() < 0.1,
+                "tenant {label} share {share} far from {expect}"
+            );
+        }
+        // Tenant-labelled names show every tenant reached the stream.
+        for tenant in &preset.tenants {
+            let prefix = format!("{}:", tenant.label);
+            assert!(
+                jobs.iter().any(|j| j.name.starts_with(&prefix)),
+                "no jobs named for tenant {}",
+                tenant.label
+            );
+        }
+    }
+
+    #[test]
+    fn budget_split_is_exact() {
+        let preset = presets::multitenant_saas();
+        let targets = split_budget(&preset, 1_000);
+        assert_eq!(targets.iter().sum::<u64>(), 1_000);
+        assert_eq!(targets.len(), preset.tenants.len());
+        let targets = split_budget(&preset, 1);
+        assert_eq!(targets.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn resident_state_is_constant_in_stream_length() {
+        let preset = presets::bursty_telecom();
+        let bounds = PopulationBounds {
+            max_files: 256,
+            reserved_files: 32,
+            max_outputs: 64,
+            max_access_log: 64,
+        };
+        let measure = |jobs: u64| {
+            let mut stream = ScenarioStream::new(&preset, 9, jobs)
+                .expect("valid")
+                .chunk_size(256)
+                .population_bounds(bounds);
+            while stream.next_chunk().is_some() {}
+            (stream.stats().generation.jobs, stream.resident_bytes())
+        };
+        let (short_jobs, short_bytes) = measure(2_000);
+        let (long_jobs, long_bytes) = measure(10_000);
+        assert!(long_jobs > short_jobs * 3, "streams must differ in length");
+        assert_eq!(
+            short_bytes, long_bytes,
+            "resident bytes must not grow with stream length"
+        );
+    }
+
+    #[test]
+    fn stats_declare_exactly_what_was_emitted() {
+        let preset = presets::steady_retail();
+        let mut stream = ScenarioStream::new(&preset, 21, 800).expect("valid");
+        let jobs: Vec<Job> = (&mut stream).flatten().collect();
+        let stats = stream.stats();
+        assert_eq!(stats.generation.jobs as usize, jobs.len());
+        let bytes: swim_trace::DataSize = jobs.iter().map(|j| j.total_io()).sum();
+        assert_eq!(stats.generation.bytes_moved, bytes);
+        assert_eq!(
+            stats.generation.span(),
+            jobs.last().expect("nonempty").submit.since(jobs[0].submit)
+        );
+    }
+}

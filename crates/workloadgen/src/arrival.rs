@@ -16,6 +16,7 @@
 //! arrivals are Poisson (exponential gaps).
 
 use crate::dist::{poisson, Exponential, LogNormal};
+use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use swim_trace::time::HOUR;
@@ -79,34 +80,48 @@ impl ArrivalModel {
         rng: &mut R,
         hours: u64,
     ) -> Vec<(Timestamp, f64)> {
-        let burst = if self.burst_sigma > 0.0 {
-            Some(LogNormal::from_median(1.0, self.burst_sigma))
-        } else {
-            None
-        };
         let mut out = Vec::with_capacity((self.jobs_per_hour * hours as f64) as usize + 16);
         for h in 0..hours {
-            let mut rate = self.jobs_per_hour * self.diurnal_factor(h);
-            let mut intensity = 1.0;
-            if let Some(b) = &burst {
-                // Divide by the log-normal mean so the long-run average
-                // rate stays `jobs_per_hour` despite the heavy tail.
-                intensity = b.sample(rng) / b.mean();
-                rate *= intensity;
-            }
-            let count = poisson(rng, rate);
-            if count == 0 {
-                continue;
-            }
-            // Poisson arrivals within the hour are uniform order statistics.
+            let (intensity, count) = self.draw_hour(rng, h);
             let base = h * HOUR;
+            let mut offsets = SortedOffsets::new(count);
             for _ in 0..count {
-                let offset = rng.random_range(0..HOUR);
-                out.push((Timestamp::from_secs(base + offset), intensity));
+                out.push((Timestamp::from_secs(base + offsets.next(rng)), intensity));
             }
         }
-        out.sort_unstable_by_key(|&(t, _)| t);
+        // Hours are emitted in order and offsets ascend within each hour,
+        // so the result is already globally sorted — no O(n log n) pass.
         out
+    }
+
+    /// Draw one hour of the process: the burst intensity (normalized to
+    /// long-run mean 1) and the Poisson arrival count. Shared by the batch
+    /// sampler and [`ArrivalStream`] so both consume the RNG identically.
+    fn draw_hour<R: Rng + ?Sized>(&self, rng: &mut R, hour: u64) -> (f64, u64) {
+        let mut rate = self.jobs_per_hour * self.diurnal_factor(hour);
+        let mut intensity = 1.0;
+        if self.burst_sigma > 0.0 {
+            let b = LogNormal::from_median(1.0, self.burst_sigma);
+            // Divide by the log-normal mean so the long-run average rate
+            // stays `jobs_per_hour` despite the heavy tail.
+            intensity = b.sample(rng) / b.mean();
+            rate *= intensity;
+        }
+        (intensity, poisson(rng, rate))
+    }
+
+    /// Streaming view of the same process: an iterator of `(submit,
+    /// intensity)` pairs in O(1) memory, bit-identical to
+    /// [`ArrivalModel::sample_arrivals_with_intensity`] when driven by an
+    /// identically seeded RNG.
+    pub fn stream(self, rng: StdRng, hours: u64) -> ArrivalStream {
+        ArrivalStream {
+            model: self,
+            hours,
+            rng,
+            hour: 0,
+            current: None,
+        }
     }
 
     /// Sample inter-arrival gaps for a *stationary* stream at the model's
@@ -114,6 +129,85 @@ impl ArrivalModel {
     /// hours.
     pub fn sample_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         Exponential::new(self.jobs_per_hour.max(f64::MIN_POSITIVE) / HOUR as f64).sample(rng)
+    }
+}
+
+/// Ascending uniform order statistics over one hour, generated one at a
+/// time in O(1) memory: for `n` uniforms on `[0, 1)`, the ascending
+/// sequence satisfies `x_i = 1 − (1 − x_{i−1})·(1 − Uᵢ)^{1/(n−i+1)}`,
+/// which lets the streaming generator emit sorted within-hour offsets
+/// without buffering (or sorting) the hour's arrivals.
+#[derive(Debug, Clone)]
+struct SortedOffsets {
+    remaining: u64,
+    last: f64,
+}
+
+impl SortedOffsets {
+    fn new(count: u64) -> Self {
+        SortedOffsets {
+            remaining: count,
+            last: 0.0,
+        }
+    }
+
+    /// Next offset in seconds, in `[0, HOUR)`, non-decreasing across calls.
+    fn next<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        debug_assert!(self.remaining > 0);
+        let u: f64 = rng.random();
+        self.last = 1.0 - (1.0 - self.last) * (1.0 - u).powf(1.0 / self.remaining as f64);
+        self.remaining -= 1;
+        ((self.last * HOUR as f64) as u64).min(HOUR - 1)
+    }
+}
+
+/// Streaming arrival process: yields `(submit, intensity)` pairs in
+/// ascending submit order using O(1) state — one hour's `(intensity,
+/// count)` draw plus the order-statistics recurrence. Created by
+/// [`ArrivalModel::stream`]; consumes the RNG exactly like the batch
+/// sampler, so a batch and a stream seeded identically agree bit for bit.
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    model: ArrivalModel,
+    hours: u64,
+    rng: StdRng,
+    hour: u64,
+    current: Option<HourState>,
+}
+
+#[derive(Debug, Clone)]
+struct HourState {
+    base: u64,
+    intensity: f64,
+    offsets: SortedOffsets,
+}
+
+impl Iterator for ArrivalStream {
+    type Item = (Timestamp, f64);
+
+    fn next(&mut self) -> Option<(Timestamp, f64)> {
+        loop {
+            if let Some(h) = &mut self.current {
+                if h.offsets.remaining > 0 {
+                    let t = Timestamp::from_secs(h.base + h.offsets.next(&mut self.rng));
+                    return Some((t, h.intensity));
+                }
+                self.current = None;
+            }
+            if self.hour >= self.hours {
+                return None;
+            }
+            let h = self.hour;
+            self.hour += 1;
+            let (intensity, count) = self.model.draw_hour(&mut self.rng, h);
+            if count > 0 {
+                self.current = Some(HourState {
+                    base: h * HOUR,
+                    intensity,
+                    offsets: SortedOffsets::new(count),
+                });
+            }
+        }
     }
 }
 
@@ -251,6 +345,34 @@ mod tests {
         ];
         let counts = hourly_counts(&arrivals, 4);
         assert_eq!(counts, vec![2, 1, 0, 0]); // last arrival out of range
+    }
+
+    #[test]
+    fn stream_matches_batch_bit_for_bit() {
+        let m = ArrivalModel {
+            jobs_per_hour: 35.0,
+            diurnal_amplitude: 0.4,
+            peak_hour: 11.0,
+            burst_sigma: 1.2,
+        };
+        let hours = 24 * 4;
+        let mut batch_rng = StdRng::seed_from_u64(77);
+        let batch = m.sample_arrivals_with_intensity(&mut batch_rng, hours);
+        let streamed: Vec<(Timestamp, f64)> = m.stream(StdRng::seed_from_u64(77), hours).collect();
+        assert_eq!(batch, streamed);
+        assert!(!batch.is_empty());
+    }
+
+    #[test]
+    fn sorted_offsets_ascend_and_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut os = SortedOffsets::new(500);
+        let mut last = 0;
+        for _ in 0..500 {
+            let off = os.next(&mut rng);
+            assert!(off >= last && off < HOUR, "offset {off} after {last}");
+            last = off;
+        }
     }
 
     #[test]

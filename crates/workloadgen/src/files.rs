@@ -24,6 +24,7 @@
 use crate::dist::Zipf;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use swim_trace::{DataSize, PathId, Timestamp};
 
 /// Locality/popularity parameters for one workload's file accesses.
@@ -97,39 +98,120 @@ pub enum InputChoice {
     ConsumedOutput,
 }
 
+/// Memory bounds on the resident population state, so a streaming
+/// generator can emit traces of unbounded length in O(1) memory. Every
+/// structure behaves exactly like its unbounded predecessor until its cap
+/// is reached (all of this crate's statistical tests run far below the
+/// default caps); past the cap, the oldest state is recycled: the access
+/// log and output list become rings over the recent history, and new files
+/// reuse slots beyond a protected head of `reserved_files` (which keeps
+/// the long-lived Fig. 2 reference set alive forever).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulationBounds {
+    /// Maximum resident file records (slots are recycled past this).
+    pub max_files: usize,
+    /// Head of the file table that is never recycled — the earliest files
+    /// form the Zipf reference set and the oldest chained outputs.
+    pub reserved_files: usize,
+    /// Maximum remembered output files (chaining candidates).
+    pub max_outputs: usize,
+    /// Maximum access-log entries (preferential-attachment memory).
+    pub max_access_log: usize,
+}
+
+impl Default for PopulationBounds {
+    fn default() -> Self {
+        PopulationBounds {
+            max_files: 1 << 18,
+            reserved_files: 4096,
+            max_outputs: 1 << 16,
+            max_access_log: 1 << 16,
+        }
+    }
+}
+
+impl PopulationBounds {
+    /// Clamp degenerate values so the population math stays well-defined
+    /// (at least one recyclable slot, non-empty rings).
+    fn sanitized(self) -> Self {
+        let max_files = self.max_files.max(2);
+        PopulationBounds {
+            max_files,
+            reserved_files: self.reserved_files.min(max_files - 1),
+            max_outputs: self.max_outputs.max(1),
+            max_access_log: self.max_access_log.max(1),
+        }
+    }
+}
+
 /// Mutable file population evolving as the generator emits jobs.
 #[derive(Debug, Clone)]
 pub struct FilePopulation {
     model: AccessModel,
+    bounds: PopulationBounds,
     files: Vec<FileRecord>,
-    /// Indices into `files` of output files (chaining candidates).
-    outputs: Vec<usize>,
+    /// Indices into `files` of output files (chaining candidates), oldest
+    /// first; bounded by `bounds.max_outputs` (oldest dropped).
+    outputs: VecDeque<usize>,
     /// Ring of recently accessed file indices (most recent last).
     recent: Vec<usize>,
     /// One entry per past access (file index): sampling uniformly from
     /// this log draws a file with probability proportional to its access
     /// count — preferential attachment, the generative process behind the
-    /// Zipf-like rank–frequency lines of Fig. 2.
+    /// Zipf-like rank–frequency lines of Fig. 2. Bounded as a ring of the
+    /// most recent `bounds.max_access_log` accesses.
     access_log: Vec<usize>,
+    /// Write cursor into `access_log` once it is saturated.
+    log_cursor: usize,
+    /// Next slot (relative to `bounds.reserved_files`) to recycle once the
+    /// file table is saturated.
+    recycle_cursor: usize,
     next_id: u64,
 }
 
 impl FilePopulation {
-    /// Empty population under the given access model.
+    /// Empty population under the given access model and default bounds.
     pub fn new(model: AccessModel) -> Self {
+        FilePopulation::with_bounds(model, PopulationBounds::default())
+    }
+
+    /// Empty population with explicit memory bounds (tests use tiny caps
+    /// to exercise recycling cheaply).
+    pub fn with_bounds(model: AccessModel, bounds: PopulationBounds) -> Self {
         FilePopulation {
             model,
+            bounds: bounds.sanitized(),
             files: Vec::new(),
-            outputs: Vec::new(),
+            outputs: VecDeque::new(),
             recent: Vec::new(),
             access_log: Vec::new(),
+            log_cursor: 0,
+            recycle_cursor: 0,
             next_id: 0,
         }
     }
 
-    /// Number of distinct files created so far.
+    /// Number of *resident* files (distinct files until `max_files`, the
+    /// cap thereafter — see [`FilePopulation::created`]).
     pub fn len(&self) -> usize {
         self.files.len()
+    }
+
+    /// Total number of distinct files ever created (monotonic; unlike
+    /// [`FilePopulation::len`] this keeps counting past the resident cap).
+    pub fn created(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Approximate resident heap footprint of the population state. This
+    /// is what the streaming generator's bounded-memory tests assert on:
+    /// it plateaus at the [`PopulationBounds`] caps no matter how many
+    /// jobs have been emitted.
+    pub fn resident_bytes(&self) -> usize {
+        self.files.capacity() * std::mem::size_of::<FileRecord>()
+            + self.outputs.capacity() * std::mem::size_of::<usize>()
+            + self.recent.capacity() * std::mem::size_of::<usize>()
+            + self.access_log.capacity() * std::mem::size_of::<usize>()
     }
 
     /// `true` iff no files exist yet.
@@ -208,15 +290,32 @@ impl FilePopulation {
     fn create(&mut self, now: Timestamp, size: DataSize, is_output: bool) -> PathId {
         let id = PathId(self.next_id);
         self.next_id += 1;
-        let idx = self.files.len();
-        self.files.push(FileRecord {
+        let record = FileRecord {
             id,
             size,
             last_access: now,
             is_output,
-        });
+        };
+        let idx = if self.files.len() < self.bounds.max_files {
+            self.files.push(record);
+            self.files.len() - 1
+        } else {
+            // Saturated: recycle a slot past the protected head. Stale
+            // references from `outputs`/`recent`/`access_log` now resolve
+            // to the new tenant of the slot — statistically harmless (they
+            // still draw *some* live file) and what keeps the population
+            // O(1) for unbounded traces.
+            let span = self.bounds.max_files - self.bounds.reserved_files;
+            let idx = self.bounds.reserved_files + self.recycle_cursor;
+            self.recycle_cursor = (self.recycle_cursor + 1) % span;
+            self.files[idx] = record;
+            idx
+        };
         if is_output {
-            self.outputs.push(idx);
+            self.outputs.push_back(idx);
+            if self.outputs.len() > self.bounds.max_outputs {
+                self.outputs.pop_front();
+            }
         }
         self.push_recent(idx);
         id
@@ -258,7 +357,12 @@ impl FilePopulation {
 
     fn touch(&mut self, idx: usize, now: Timestamp) {
         self.files[idx].last_access = now;
-        self.access_log.push(idx);
+        if self.access_log.len() < self.bounds.max_access_log {
+            self.access_log.push(idx);
+        } else {
+            self.access_log[self.log_cursor] = idx;
+            self.log_cursor = (self.log_cursor + 1) % self.bounds.max_access_log;
+        }
         self.push_recent(idx);
     }
 
@@ -378,6 +482,59 @@ mod tests {
             pop.choose_input(&mut rng, Timestamp::from_secs(i), DataSize::from_kb(1));
         }
         assert!(pop.recent.len() <= 4);
+    }
+
+    #[test]
+    fn population_memory_is_bounded() {
+        let bounds = PopulationBounds {
+            max_files: 64,
+            reserved_files: 8,
+            max_outputs: 16,
+            max_access_log: 32,
+        };
+        let mut pop = FilePopulation::with_bounds(model(), bounds);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut plateau = 0;
+        for i in 0..10_000u64 {
+            let now = Timestamp::from_secs(i * 5);
+            pop.choose_input(&mut rng, now, DataSize::from_mb(1));
+            pop.record_output(&mut rng, now, DataSize::from_mb(2));
+            if i == 1_000 {
+                plateau = pop.resident_bytes();
+            }
+        }
+        assert!(pop.len() <= 64, "resident files {}", pop.len());
+        assert!(pop.outputs.len() <= 16);
+        assert!(pop.access_log.len() <= 32);
+        // Resident footprint stops growing once every cap is reached:
+        // 10x more activity, identical memory.
+        assert_eq!(pop.resident_bytes(), plateau);
+        // …while distinct-file creation keeps counting.
+        assert!(pop.created() > 64 * 4, "created {}", pop.created());
+    }
+
+    #[test]
+    fn recycling_preserves_reference_head() {
+        let bounds = PopulationBounds {
+            max_files: 16,
+            reserved_files: 4,
+            max_outputs: 8,
+            max_access_log: 8,
+        };
+        let mut pop = FilePopulation::with_bounds(model(), bounds);
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..2_000u64 {
+            pop.choose_input(&mut rng, Timestamp::from_secs(i), DataSize::from_kb(1));
+        }
+        // The protected head keeps the very first files resident: their
+        // ids are the original small ids, never recycled.
+        for (slot, f) in pop.files.iter().take(4).enumerate() {
+            assert!(
+                f.id.0 < 4,
+                "reserved slot {slot} was recycled to id {}",
+                f.id.0
+            );
+        }
     }
 
     #[test]

@@ -2,13 +2,49 @@
 //! job-type mixture, file population, and name vocabulary into a complete
 //! synthetic [`Trace`].
 
-use crate::files::FilePopulation;
-use crate::jobtypes::JobTypeMix;
 use crate::profiles::WorkloadProfile;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::streaming::StreamingGenerator;
+use std::fmt;
 use swim_trace::trace::WorkloadKind;
-use swim_trace::{DataSize, Job, JobBuilder, Trace};
+use swim_trace::Trace;
+
+/// Typed rejection of an invalid [`GeneratorConfig`] (the streaming
+/// counterpart of `swim_store::StoreOptions::validate`): a numeric field
+/// out of range, or a kind this crate has no calibrated profile for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeneratorError {
+    /// A numeric field is non-finite or outside its legal range.
+    InvalidConfig {
+        /// Which field failed (`"scale"`, `"days"`, `"sigma"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be positive and finite"`.
+        constraint: &'static str,
+    },
+    /// `config.kind` is not one of the paper's seven calibrated workloads;
+    /// custom kinds must supply an explicit profile via `from_profile`.
+    UnknownWorkload(String),
+}
+
+impl fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneratorError::InvalidConfig {
+                field,
+                value,
+                constraint,
+            } => write!(f, "invalid GeneratorConfig.{field} = {value}: {constraint}"),
+            GeneratorError::UnknownWorkload(label) => write!(
+                f,
+                "workload {label:?} must be one of the paper's seven workloads \
+                 (custom kinds need an explicit profile)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeneratorError {}
 
 /// Configuration for one generation run.
 #[derive(Debug, Clone)]
@@ -68,6 +104,50 @@ impl GeneratorConfig {
         self.sigma = sigma;
         self
     }
+
+    /// Validate every numeric field, rejecting non-positive or non-finite
+    /// values with a typed error. The builder setters above enforce the
+    /// same constraints by panicking; `validate` is the non-panicking
+    /// front door for configs assembled field-by-field (CLI flag parsing,
+    /// scenario presets) and is called by [`StreamingGenerator::new`].
+    pub fn validate(&self) -> Result<(), GeneratorError> {
+        fn check(
+            field: &'static str,
+            value: f64,
+            ok: bool,
+            constraint: &'static str,
+        ) -> Result<(), GeneratorError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(GeneratorError::InvalidConfig {
+                    field,
+                    value,
+                    constraint,
+                })
+            }
+        }
+        check(
+            "scale",
+            self.scale,
+            self.scale > 0.0 && self.scale.is_finite(),
+            "must be positive and finite",
+        )?;
+        if let Some(days) = self.days {
+            check(
+                "days",
+                days,
+                days > 0.0 && days.is_finite(),
+                "must be positive and finite",
+            )?;
+        }
+        check(
+            "sigma",
+            self.sigma,
+            self.sigma >= 0.0 && self.sigma.is_finite(),
+            "must be non-negative and finite",
+        )
+    }
 }
 
 /// Synthesizes traces from calibrated profiles.
@@ -97,85 +177,23 @@ impl WorkloadGenerator {
     }
 
     /// Generate the trace.
+    ///
+    /// Since the streaming refactor this is a thin wrapper over
+    /// [`StreamingGenerator`]: the trace is assembled chunk by chunk from
+    /// the same per-job state machine the bounded-memory path uses, so a
+    /// one-shot `generate()` and a streamed run with *any* chunk size are
+    /// bit-identical for the same seed.
     pub fn generate(&self) -> Trace {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let days = self.config.days.unwrap_or(self.profile.length_days);
-        let hours = (days * 24.0).ceil().max(1.0) as u64;
-        // When the caller shortens the trace, keep the hourly rate of the
-        // full-length trace rather than squeezing all jobs into the window.
-        let rate_scale = self.config.scale;
-        let arrival = self.profile.arrival_model(rate_scale);
-        let arrivals = arrival.sample_arrivals_with_intensity(&mut rng, hours);
-
-        let mix = JobTypeMix::with_sigma(self.profile.job_types.clone(), self.config.sigma);
-        let mut vocab = self.profile.vocabulary();
-        let mut files = FilePopulation::new(self.profile.access);
-
-        // A job type is "data heavy" (biases towards high-IO names) when
-        // its centroid moves at least 1 GB in total.
-        let heavy_threshold = DataSize::from_gb(1);
-        let heavy: Vec<bool> = self
-            .profile
-            .job_types
-            .iter()
-            .map(|t| t.total_io() >= heavy_threshold)
-            .collect();
-
-        // Index of the dominant (small-job) type: burst excess is routed
-        // here, modelling interactive query storms — analysts submit many
-        // small jobs at once; the scheduled heavy pipelines keep their
-        // baseline Poisson rate. This decouples jobs/hour from bytes/hour
-        // exactly as Fig. 9 reports.
-        let small_type = mix.dominant_type();
-
-        let mut jobs: Vec<Job> = Vec::with_capacity(arrivals.len());
-        for (i, (submit, intensity)) in arrivals.into_iter().enumerate() {
-            let s = if intensity > 1.0 && rng.random::<f64>() < (intensity - 1.0) / intensity {
-                // This arrival is burst excess: force the small-job type.
-                mix.sample_type(&mut rng, small_type)
-            } else {
-                mix.sample(&mut rng)
-            };
-            let (name, _framework) = if self.profile.has_names {
-                vocab.sample(&mut rng, heavy[s.type_index])
-            } else {
-                (String::new(), swim_trace::Framework::Native)
-            };
-
-            let mut builder = JobBuilder::new(i as u64)
-                .name(name)
-                .submit(submit)
-                .duration(s.duration)
-                .input(s.input)
-                .shuffle(s.shuffle)
-                .output(s.output)
-                .map_task_time(s.map_time)
-                .reduce_task_time(s.reduce_time)
-                .tasks(s.map_tasks, s.reduce_tasks);
-
-            // Attach paths per the availability matrix. The file population
-            // is still *updated* for path-less workloads so access dynamics
-            // (and downstream caching experiments run on other workloads)
-            // stay comparable; the trace just does not expose the ids.
-            let (input_path, _) = files.choose_input(&mut rng, submit, s.input);
-            let output_path = files.record_output(&mut rng, submit + s.duration, s.output);
-            if self.profile.paths.input {
-                builder = builder.input_paths(vec![input_path]);
-            }
-            if self.profile.paths.output {
-                builder = builder.output_paths(vec![output_path]);
-            }
-
-            jobs.push(builder.build_unchecked());
-        }
-        Trace::new(self.profile.kind.clone(), self.profile.machines, jobs)
-            .expect("generator produces valid, unique jobs")
+        StreamingGenerator::from_profile(self.config.clone(), self.profile.clone())
+            .expect("WorkloadGenerator carries a validated config")
+            .collect_trace()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use swim_trace::DataSize;
 
     fn small(kind: WorkloadKind, scale: f64) -> Trace {
         WorkloadGenerator::new(GeneratorConfig::new(kind).scale(scale).days(3.0).seed(3)).generate()
@@ -295,6 +313,129 @@ mod tests {
     #[should_panic(expected = "must be one of the paper's seven workloads")]
     fn custom_kind_requires_profile() {
         WorkloadGenerator::new(GeneratorConfig::new(WorkloadKind::Custom("x".into())));
+    }
+
+    #[test]
+    fn validate_accepts_builder_configs() {
+        GeneratorConfig::new(WorkloadKind::CcA)
+            .scale(0.5)
+            .days(2.0)
+            .sigma(0.0)
+            .validate()
+            .expect("builder-made configs are always valid");
+    }
+
+    #[test]
+    fn validate_rejects_edge_cases() {
+        let base = GeneratorConfig::new(WorkloadKind::CcA);
+        let bad = [
+            (
+                "scale",
+                GeneratorConfig {
+                    scale: 0.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "scale",
+                GeneratorConfig {
+                    scale: -1.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "scale",
+                GeneratorConfig {
+                    scale: f64::NAN,
+                    ..base.clone()
+                },
+            ),
+            (
+                "scale",
+                GeneratorConfig {
+                    scale: f64::INFINITY,
+                    ..base.clone()
+                },
+            ),
+            (
+                "days",
+                GeneratorConfig {
+                    days: Some(0.0),
+                    ..base.clone()
+                },
+            ),
+            (
+                "days",
+                GeneratorConfig {
+                    days: Some(-3.0),
+                    ..base.clone()
+                },
+            ),
+            (
+                "days",
+                GeneratorConfig {
+                    days: Some(f64::NAN),
+                    ..base.clone()
+                },
+            ),
+            (
+                "days",
+                GeneratorConfig {
+                    days: Some(f64::INFINITY),
+                    ..base.clone()
+                },
+            ),
+            (
+                "sigma",
+                GeneratorConfig {
+                    sigma: -0.1,
+                    ..base.clone()
+                },
+            ),
+            (
+                "sigma",
+                GeneratorConfig {
+                    sigma: f64::NAN,
+                    ..base.clone()
+                },
+            ),
+            (
+                "sigma",
+                GeneratorConfig {
+                    sigma: f64::NEG_INFINITY,
+                    ..base.clone()
+                },
+            ),
+        ];
+        for (want, config) in bad {
+            match config.validate() {
+                Err(GeneratorError::InvalidConfig { field, .. }) => {
+                    assert_eq!(field, want, "wrong field blamed");
+                }
+                other => panic!("expected InvalidConfig({want}), got {other:?}"),
+            }
+        }
+        // Zero sigma and missing days are legal.
+        GeneratorConfig {
+            sigma: 0.0,
+            days: None,
+            ..base
+        }
+        .validate()
+        .expect("sigma = 0 / days = None are valid");
+    }
+
+    #[test]
+    fn generator_error_displays_context() {
+        let err = GeneratorConfig {
+            scale: f64::NAN,
+            ..GeneratorConfig::new(WorkloadKind::CcA)
+        }
+        .validate()
+        .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("scale"), "{text}");
+        assert!(text.contains("NaN"), "{text}");
     }
 
     #[test]

@@ -210,7 +210,7 @@ impl JobTypeMix {
 /// Derive a plausible map-task count: one task per input split, but never
 /// fewer tasks than needed for the task-time to fit in the duration
 /// (`map_time / duration` concurrent slots is a lower bound on tasks).
-fn derive_map_tasks(input: DataSize, map_time: Dur, duration: Dur) -> u32 {
+pub fn derive_map_tasks(input: DataSize, map_time: Dur, duration: Dur) -> u32 {
     let by_splits = input.bytes().div_ceil(SPLIT_SIZE).max(1);
     let by_time = if duration.is_zero() {
         1
@@ -222,7 +222,7 @@ fn derive_map_tasks(input: DataSize, map_time: Dur, duration: Dur) -> u32 {
 
 /// Derive a reduce-task count: zero iff there is genuinely no reduce
 /// stage; otherwise one task per [`REDUCE_CHUNK`] of shuffle volume.
-fn derive_reduce_tasks(shuffle: DataSize, reduce_time: Dur) -> u32 {
+pub fn derive_reduce_tasks(shuffle: DataSize, reduce_time: Dur) -> u32 {
     if shuffle.is_zero() && reduce_time.is_zero() {
         return 0;
     }

@@ -42,7 +42,9 @@ pub mod generator;
 pub mod jobtypes;
 pub mod naming;
 pub mod profiles;
+pub mod streaming;
 
-pub use generator::{GeneratorConfig, WorkloadGenerator};
+pub use generator::{GeneratorConfig, GeneratorError, WorkloadGenerator};
 pub use jobtypes::JobTypeProfile;
 pub use profiles::WorkloadProfile;
+pub use streaming::{GenerationStats, StreamingGenerator};

@@ -97,3 +97,54 @@ mod generator_props {
         }
     }
 }
+
+mod streaming_props {
+    use super::*;
+    use swim_trace::trace::WorkloadKind;
+    use swim_trace::Job;
+    use swim_workloadgen::{GeneratorConfig, StreamingGenerator, WorkloadGenerator};
+
+    fn config(seed: u64) -> GeneratorConfig {
+        GeneratorConfig::new(WorkloadKind::CcE)
+            .scale(0.1)
+            .days(1.0)
+            .seed(seed)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Same seed ⇒ bit-identical jobs across the issue's pinned chunk
+        /// sizes {1, 7, 4096} *and* vs. the one-shot `generate()` path —
+        /// chunk boundaries must never touch either RNG stream.
+        #[test]
+        fn chunking_never_changes_the_jobs(seed in any::<u64>()) {
+            let one_shot = WorkloadGenerator::new(config(seed)).generate();
+            for chunk in [1usize, 7, 4096] {
+                let streamed: Vec<Job> = StreamingGenerator::new(config(seed))
+                    .expect("valid config")
+                    .chunk_size(chunk)
+                    .flatten()
+                    .collect();
+                prop_assert_eq!(one_shot.jobs(), &streamed[..]);
+            }
+        }
+
+        /// An arbitrary chunk size agrees with chunk size 1 (the finest
+        /// possible chunking) — not just the pinned set.
+        #[test]
+        fn arbitrary_chunk_sizes_agree(seed in any::<u64>(), chunk in 1usize..2_000) {
+            let fine: Vec<Job> = StreamingGenerator::new(config(seed))
+                .expect("valid config")
+                .chunk_size(1)
+                .flatten()
+                .collect();
+            let coarse: Vec<Job> = StreamingGenerator::new(config(seed))
+                .expect("valid config")
+                .chunk_size(chunk)
+                .flatten()
+                .collect();
+            prop_assert_eq!(fine, coarse);
+        }
+    }
+}
